@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works in offline
+environments whose setuptools lacks PEP 660 editable-wheel support (no
+``wheel`` package available): pip can fall back to the legacy
+``setup.py develop`` code path there.
+"""
+
+from setuptools import setup
+
+setup()

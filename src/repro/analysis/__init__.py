@@ -1,0 +1,108 @@
+"""Analysis layer: every paper table and figure computed from trace stores."""
+
+from repro.analysis.classify import (
+    DEFAULT_CV_THRESHOLD,
+    MeasuredClientProfile,
+    classify_clients,
+)
+from repro.analysis.improvement import (
+    DEFAULT_BIN_EDGES,
+    ImprovementHistogram,
+    ImprovementVsThroughput,
+    improvement_histogram,
+    improvement_vs_throughput,
+    per_client_histograms,
+)
+from repro.analysis.metrics import (
+    HeadlineStats,
+    all_improvements,
+    headline_stats,
+    improvements_when_indirect,
+    indirect_utilization,
+    mean_improvement_by_site,
+    positive_given_indirect,
+)
+from repro.analysis.penalties import PenaltyRow, penalty_table
+from repro.analysis.prediction import PredictionQuality, prediction_quality
+from repro.analysis.random_set import (
+    RandomSetCurve,
+    random_set_curves,
+    saturation_point,
+)
+from repro.analysis.report import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_headline,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.timeseries import (
+    IndirectThroughputSeries,
+    indirect_throughput_series,
+)
+from repro.analysis.summary import full_report
+from repro.analysis.variability import VariabilityComparison, variability_reduction
+from repro.analysis.utilization import (
+    RelayUtilizationStats,
+    UtilizationImprovementRow,
+    client_relay_utilization,
+    overall_average_utilization,
+    top_relays_per_client,
+    total_utilization_stats,
+    utilization_improvement_correlation,
+    utilization_vs_improvement,
+)
+
+__all__ = [
+    "improvements_when_indirect",
+    "all_improvements",
+    "indirect_utilization",
+    "positive_given_indirect",
+    "headline_stats",
+    "HeadlineStats",
+    "mean_improvement_by_site",
+    "classify_clients",
+    "MeasuredClientProfile",
+    "DEFAULT_CV_THRESHOLD",
+    "penalty_table",
+    "PenaltyRow",
+    "prediction_quality",
+    "PredictionQuality",
+    "variability_reduction",
+    "full_report",
+    "VariabilityComparison",
+    "improvement_histogram",
+    "per_client_histograms",
+    "improvement_vs_throughput",
+    "ImprovementHistogram",
+    "ImprovementVsThroughput",
+    "DEFAULT_BIN_EDGES",
+    "indirect_throughput_series",
+    "IndirectThroughputSeries",
+    "client_relay_utilization",
+    "top_relays_per_client",
+    "total_utilization_stats",
+    "overall_average_utilization",
+    "RelayUtilizationStats",
+    "utilization_vs_improvement",
+    "utilization_improvement_correlation",
+    "UtilizationImprovementRow",
+    "random_set_curves",
+    "saturation_point",
+    "RandomSetCurve",
+    "render_fig1",
+    "render_fig2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_headline",
+]

@@ -1,0 +1,69 @@
+"""Post-hoc client classification from *measured* throughputs.
+
+The paper buckets clients by their measured average direct-path throughput
+and by its variability (the "post-hoc analysis" behind Table I).  We mirror
+that: classification uses only what the control client observed, never the
+generative ground truth - so these functions work on real traces too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.trace.store import TraceStore
+from repro.util.stats import coefficient_of_variation
+from repro.workloads.profiles import ThroughputClass
+
+__all__ = ["MeasuredClientProfile", "classify_clients", "DEFAULT_CV_THRESHOLD"]
+
+#: Clients whose direct-throughput coefficient of variation exceeds this are
+#: labelled high-variability.  0.35 separates the calibrated low/high
+#: modulation regimes cleanly.
+DEFAULT_CV_THRESHOLD: float = 0.35
+
+
+@dataclass(frozen=True)
+class MeasuredClientProfile:
+    """What the measurements say about one client."""
+
+    client: str
+    n_transfers: int
+    mean_direct_throughput: float
+    throughput_class: ThroughputClass
+    cv: float
+    high_variability: bool
+
+    @property
+    def is_med_or_low(self) -> bool:
+        """True for Low/Medium clients (the paper's desirable population)."""
+        return self.throughput_class is not ThroughputClass.HIGH
+
+
+def classify_clients(
+    store: TraceStore,
+    *,
+    cv_threshold: float = DEFAULT_CV_THRESHOLD,
+) -> Dict[str, MeasuredClientProfile]:
+    """Classify every client appearing in ``store`` from its control data.
+
+    Returns a mapping ``client name -> MeasuredClientProfile``.
+    """
+    if cv_threshold <= 0.0:
+        raise ValueError(f"cv_threshold must be positive, got {cv_threshold}")
+    out: Dict[str, MeasuredClientProfile] = {}
+    for client, sub in store.group_by("client").items():
+        direct = sub.column("direct_throughput")
+        mean = float(np.mean(direct))
+        cv = coefficient_of_variation(direct)
+        out[client] = MeasuredClientProfile(
+            client=client,
+            n_transfers=len(sub),
+            mean_direct_throughput=mean,
+            throughput_class=ThroughputClass.classify(mean),
+            cv=cv,
+            high_variability=bool(cv > cv_threshold),
+        )
+    return out

@@ -1,0 +1,160 @@
+"""Improvement distributions and their relation to client throughput.
+
+Covers three of the paper's artefacts:
+
+* **Fig. 1** - the aggregate histogram of improvements over all clients
+  (conditioned on the indirect path being selected), with its summary
+  statistics (mean ~49%, median ~37%, 84% of mass in [0, 100]%);
+* **Fig. 2** - the same histogram per client;
+* **Fig. 3** - improvement versus direct-path throughput per
+  (client, relay), whose downward trend shows improvement is inversely
+  related to client throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import improvements_when_indirect
+from repro.trace.store import TraceStore
+from repro.util.stats import fraction_below, fraction_between, percent_histogram
+
+__all__ = [
+    "DEFAULT_BIN_EDGES",
+    "ImprovementHistogram",
+    "improvement_histogram",
+    "per_client_histograms",
+    "ImprovementVsThroughput",
+    "improvement_vs_throughput",
+]
+
+#: Fig. 1-style bins: 25%-wide buckets from -200% to +300%, with outliers
+#: clipped into the edge bins by :func:`~repro.util.stats.percent_histogram`.
+DEFAULT_BIN_EDGES: Tuple[float, ...] = tuple(np.arange(-200.0, 325.0, 25.0))
+
+
+@dataclass(frozen=True)
+class ImprovementHistogram:
+    """A Fig. 1 / Fig. 2 histogram plus its headline statistics."""
+
+    label: str
+    n_points: int
+    percentages: np.ndarray
+    edges: np.ndarray
+    mean: float
+    median: float
+    fraction_negative: float
+    fraction_0_to_100: float
+
+    def peak_bin(self) -> Tuple[float, float]:
+        """The (low edge, high edge) of the most populated bin."""
+        if self.percentages.size == 0 or self.n_points == 0:
+            raise ValueError("histogram is empty")
+        i = int(np.argmax(self.percentages))
+        return (float(self.edges[i]), float(self.edges[i + 1]))
+
+
+def improvement_histogram(
+    store: TraceStore,
+    *,
+    label: str = "all clients",
+    bin_edges: Tuple[float, ...] = DEFAULT_BIN_EDGES,
+) -> ImprovementHistogram:
+    """Build the aggregate improvement histogram (indirect-selected rows)."""
+    imps = improvements_when_indirect(store)
+    pct, edges = percent_histogram(imps, bin_edges)
+    return ImprovementHistogram(
+        label=label,
+        n_points=int(imps.size),
+        percentages=pct,
+        edges=edges,
+        mean=float(np.mean(imps)) if imps.size else float("nan"),
+        median=float(np.median(imps)) if imps.size else float("nan"),
+        fraction_negative=fraction_below(imps, 0.0),
+        fraction_0_to_100=fraction_between(imps, 0.0, 100.0),
+    )
+
+
+def per_client_histograms(
+    store: TraceStore,
+    *,
+    clients: Optional[List[str]] = None,
+    bin_edges: Tuple[float, ...] = DEFAULT_BIN_EDGES,
+) -> Dict[str, ImprovementHistogram]:
+    """Fig. 2: one improvement histogram per client."""
+    groups = store.group_by("client")
+    names = clients if clients is not None else sorted(groups)
+    out: Dict[str, ImprovementHistogram] = {}
+    for name in names:
+        sub = groups.get(name, TraceStore())
+        out[name] = improvement_histogram(sub, label=name, bin_edges=bin_edges)
+    return out
+
+
+@dataclass(frozen=True)
+class ImprovementVsThroughput:
+    """Fig. 3 data for one population: scatter plus a fitted linear trend.
+
+    ``slope`` is in percent improvement per Mbps of direct throughput; the
+    paper's downward trend corresponds to a negative slope.
+    """
+
+    label: str
+    direct_mbps: np.ndarray
+    improvement_percent: np.ndarray
+    slope: float
+    intercept: float
+
+    @property
+    def is_downward(self) -> bool:
+        """True when improvement decreases with client throughput."""
+        return self.slope < 0.0
+
+    def binned_means(self, n_bins: int = 6) -> Tuple[np.ndarray, np.ndarray]:
+        """Equal-count bin centres and mean improvements (plot-friendly)."""
+        if self.direct_mbps.size == 0:
+            return np.zeros(0), np.zeros(0)
+        order = np.argsort(self.direct_mbps)
+        xs = self.direct_mbps[order]
+        ys = self.improvement_percent[order]
+        splits_x = np.array_split(xs, n_bins)
+        splits_y = np.array_split(ys, n_bins)
+        centres = np.array([float(np.mean(b)) for b in splits_x if b.size])
+        means = np.array([float(np.mean(b)) for b in splits_y if b.size])
+        return centres, means
+
+
+def improvement_vs_throughput(
+    store: TraceStore,
+    *,
+    label: str = "all",
+    client: Optional[str] = None,
+    relay: Optional[str] = None,
+) -> ImprovementVsThroughput:
+    """Fig. 3: improvement vs direct throughput, optionally per client/relay.
+
+    Only indirect-selected transfers contribute (they are the ones with a
+    meaningful improvement value), matching the paper's per-intermediate
+    plots.
+    """
+    sub = store.filter(used_indirect=True)
+    if client is not None:
+        sub = sub.filter(client=client)
+    if relay is not None:
+        sub = sub.filter(selected_via=relay)
+    direct = sub.column("direct_throughput") * 8.0 / 1e6  # bytes/s -> Mbps
+    imp = sub.column("improvement_percent")
+    if direct.size >= 2 and float(np.ptp(direct)) > 0.0:
+        slope, intercept = np.polyfit(direct, imp, 1)
+    else:
+        slope, intercept = 0.0, float(np.mean(imp)) if imp.size else 0.0
+    return ImprovementVsThroughput(
+        label=label,
+        direct_mbps=direct,
+        improvement_percent=imp,
+        slope=float(slope),
+        intercept=float(intercept),
+    )

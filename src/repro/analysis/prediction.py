@@ -1,0 +1,70 @@
+"""Probe prediction quality, measured against simulator ground truth.
+
+The paper attributes both its penalties (§3.1) and the imperfect Table III
+correlation (§4.3) to the probe "not [being] a perfect way of making
+decisions".  Using counterfactual records
+(:mod:`repro.workloads.counterfactual`) we can quantify exactly how good
+the first-x-bytes predictor is:
+
+* **accuracy** - how often the selected path was truly the faster one;
+* **regret** - throughput forgone when it was not;
+* **capture ratio** - realised improvement as a fraction of what an oracle
+  choosing the truly-faster path would have achieved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.counterfactual import CounterfactualRecord
+
+__all__ = ["PredictionQuality", "prediction_quality"]
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """Aggregate decision-quality statistics for a set of transfers."""
+
+    n_transfers: int
+    accuracy: float
+    mean_regret: float
+    max_regret: float
+    oracle_mean_improvement: float
+    realised_mean_improvement: float
+
+    @property
+    def capture_ratio(self) -> float:
+        """Realised / oracle mean improvement (NaN when the oracle gains 0)."""
+        if self.oracle_mean_improvement <= 0.0:
+            return float("nan")
+        return self.realised_mean_improvement / self.oracle_mean_improvement
+
+
+def prediction_quality(records: Sequence[CounterfactualRecord]) -> PredictionQuality:
+    """Summarise probe decision quality over counterfactual records."""
+    recs = list(records)
+    if not recs:
+        return PredictionQuality(0, float("nan"), float("nan"), float("nan"),
+                                 float("nan"), float("nan"))
+    accuracy = float(np.mean([r.decision_correct for r in recs]))
+    regrets = np.array([r.regret for r in recs])
+    oracle_imp = float(np.mean([100.0 * r.achievable_improvement for r in recs]))
+    realised = np.array(
+        [
+            100.0
+            * (r.selected_throughput - r.direct_throughput)
+            / r.direct_throughput
+            for r in recs
+        ]
+    )
+    return PredictionQuality(
+        n_transfers=len(recs),
+        accuracy=accuracy,
+        mean_regret=float(np.mean(regrets)),
+        max_regret=float(np.max(regrets)),
+        oracle_mean_improvement=oracle_imp,
+        realised_mean_improvement=float(np.mean(realised)),
+    )

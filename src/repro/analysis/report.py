@@ -1,0 +1,211 @@
+"""Text rendering of every reproduced table and figure.
+
+Each ``render_*`` function turns analysis output into the aligned plain-text
+artefact the benchmark harness prints, so a bench run visually regenerates
+the paper's tables and figure series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis.improvement import ImprovementHistogram, ImprovementVsThroughput
+from repro.analysis.metrics import HeadlineStats
+from repro.analysis.penalties import PenaltyRow
+from repro.analysis.random_set import RandomSetCurve
+from repro.analysis.timeseries import IndirectThroughputSeries
+from repro.analysis.utilization import (
+    RelayUtilizationStats,
+    UtilizationImprovementRow,
+)
+from repro.util.tables import render_histogram, render_kv, render_series, render_table
+
+__all__ = [
+    "render_fig1",
+    "render_fig2",
+    "render_table1",
+    "render_table2",
+    "render_fig3",
+    "render_fig4",
+    "render_fig5",
+    "render_fig6",
+    "render_table3",
+    "render_headline",
+]
+
+
+def render_fig1(hist: ImprovementHistogram) -> str:
+    """Fig. 1: the aggregate improvement histogram with summary stats."""
+    head = render_kv(
+        [
+            ("data points (indirect selected)", hist.n_points),
+            ("mean improvement (%)", hist.mean),
+            ("median improvement (%)", hist.median),
+            ("fraction negative", hist.fraction_negative),
+            ("fraction in [0, 100]%", hist.fraction_0_to_100),
+        ],
+        title=f"Figure 1 - improvement histogram ({hist.label})",
+    )
+    body = render_histogram(hist.percentages, hist.edges, label_fmt=".0f")
+    return head + "\n" + body
+
+
+def render_fig2(hists: Dict[str, ImprovementHistogram]) -> str:
+    """Fig. 2: per-client improvement summaries (one row per client)."""
+    rows = []
+    for name in sorted(hists):
+        h = hists[name]
+        peak = "-"
+        if h.n_points > 0 and np.any(h.percentages > 0):
+            lo, hi = h.peak_bin()
+            peak = f"[{lo:.0f},{hi:.0f})"
+        rows.append(
+            (name, h.n_points, h.mean, h.median, 100.0 * h.fraction_0_to_100, peak)
+        )
+    return render_table(
+        ["client", "points", "mean %", "median %", "% in [0,100]", "peak bin"],
+        rows,
+        title="Figure 2 - per-client improvement profiles",
+    )
+
+
+def render_table1(rows: List[PenaltyRow]) -> str:
+    """Table I: penalty statistics under the paper's two filters."""
+    return render_table(
+        ["population", "points", "penalty pts %", "avg %", "st.dev %", "max %"],
+        [
+            (
+                r.label,
+                r.n_points,
+                r.penalty_points_percent,
+                r.avg_penalty,
+                r.std_penalty,
+                r.max_penalty,
+            )
+            for r in rows
+        ],
+        title="Table I - penalty statistics",
+    )
+
+
+def render_table2(top: Dict[str, list]) -> str:
+    """Table II: each client's top-3 relays with utilisations."""
+    rows = []
+    for client in sorted(top):
+        cells = [
+            f"{relay} ({100.0 * util:.0f}%)" for relay, util in top[client]
+        ]
+        cells += ["-"] * (3 - len(cells))
+        rows.append((client, cells[0], cells[1], cells[2]))
+    return render_table(
+        ["client", "first", "second", "third"],
+        rows,
+        title="Table II - top three intermediate nodes per client",
+    )
+
+
+def render_fig3(panels: List[ImprovementVsThroughput], *, n_bins: int = 6) -> str:
+    """Fig. 3: binned improvement vs direct throughput with trend slopes."""
+    parts = ["Figure 3 - improvement vs direct-path throughput"]
+    for panel in panels:
+        centres, means = panel.binned_means(n_bins)
+        trend = "downward" if panel.is_downward else "non-downward"
+        parts.append(
+            render_series(
+                centres,
+                means,
+                x_name="direct Mbps",
+                y_name="mean improvement %",
+                title=(
+                    f"[{panel.label}] n={panel.direct_mbps.size} "
+                    f"slope={panel.slope:.1f} %/Mbps ({trend})"
+                ),
+            )
+        )
+    return "\n".join(parts)
+
+
+def render_fig4(series: Dict[str, IndirectThroughputSeries]) -> str:
+    """Fig. 4: indirect throughput over time - trend-test summary per client."""
+    rows = []
+    for name in sorted(series):
+        s = series[name]
+        rows.append(
+            (
+                name,
+                s.n_points,
+                float(np.mean(s.throughput_mbps)) if s.n_points else float("nan"),
+                float(np.std(s.throughput_mbps)) if s.n_points else float("nan"),
+                s.trend.trend,
+                s.trend.p_value,
+                s.jump_count,
+            )
+        )
+    return render_table(
+        ["client", "points", "mean Mbps", "std Mbps", "trend", "p-value", "jumps"],
+        rows,
+        title="Figure 4 - indirect-path throughput over time (Mann-Kendall)",
+        float_fmt=".2f",
+    )
+
+
+def render_fig5(stats: Dict[str, RelayUtilizationStats], *, relays: Optional[List[str]] = None) -> str:
+    """Fig. 5: per-relay utilisation average / stdev / RMS (in percent)."""
+    names = relays if relays is not None else sorted(stats)
+    rows = []
+    for name in names:
+        s = stats[name]
+        rows.append(
+            (name, s.n_clients, 100.0 * s.average, 100.0 * s.stdev, 100.0 * s.rms)
+        )
+    return render_table(
+        ["relay", "clients", "average %", "stdev %", "RMS %"],
+        rows,
+        title="Figure 5 - intermediate node utilisation statistics",
+    )
+
+
+def render_fig6(curves: Dict[str, RandomSetCurve]) -> str:
+    """Fig. 6: average improvement vs random-set size, one column per client."""
+    names = sorted(curves)
+    all_ks = sorted({int(k) for c in curves.values() for k in c.set_sizes})
+    rows = []
+    for k in all_ks:
+        row: list = [k]
+        for name in names:
+            try:
+                row.append(curves[name].value_at(k))
+            except KeyError:
+                row.append(float("nan"))
+        rows.append(tuple(row))
+    return render_table(
+        ["set size k"] + [f"{n} (avg %)" for n in names],
+        rows,
+        title="Figure 6 - average improvement vs random set size",
+    )
+
+
+def render_table3(rows: List[UtilizationImprovementRow], *, client: str) -> str:
+    """Table III: utilisation vs improvement for one client's relays."""
+    return render_table(
+        ["node", "utilization %", "improvement %"],
+        [(r.relay, r.utilization_percent, r.mean_improvement_percent) for r in rows],
+        title=f"Table III - utilisations and improvements ({client} as client)",
+    )
+
+
+def render_headline(stats: HeadlineStats) -> str:
+    """The §6 headline rates."""
+    return render_kv(
+        [
+            ("transfers", stats.n_transfers),
+            ("indirect utilization", stats.utilization),
+            ("P(positive | indirect)", stats.positive_given_indirect),
+            ("effective benefit rate", stats.effective_benefit_rate),
+            ("mean improvement | indirect (%)", stats.mean_improvement_when_indirect),
+            ("median improvement | indirect (%)", stats.median_improvement_when_indirect),
+        ],
+        title="Headline rates (paper section 6)",
+    )

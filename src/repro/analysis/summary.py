@@ -1,0 +1,73 @@
+"""One-shot full report: every applicable artefact for a measurement store.
+
+``full_report`` inspects the store's shape (candidate-set sizes, client
+count) and renders the artefacts that make sense for it, in paper order.
+The CLI's ``report --artifact all`` uses this.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.improvement import (
+    improvement_histogram,
+    improvement_vs_throughput,
+    per_client_histograms,
+)
+from repro.analysis.metrics import headline_stats
+from repro.analysis.penalties import penalty_table
+from repro.analysis.random_set import random_set_curves
+from repro.analysis.report import (
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_headline,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.timeseries import indirect_throughput_series
+from repro.analysis.utilization import (
+    top_relays_per_client,
+    total_utilization_stats,
+    utilization_vs_improvement,
+)
+from repro.trace.store import TraceStore
+
+__all__ = ["full_report"]
+
+
+def full_report(store: TraceStore, *, table3_client: str = "Duke") -> str:
+    """Render every artefact applicable to ``store`` as one text document.
+
+    Single-candidate campaigns (§2-style) get Figs. 1-5 and Tables I-II;
+    stores with varying ``set_size`` (§4-style sweeps) additionally get
+    Fig. 6 and Table III.  Empty stores yield a short notice.
+    """
+    if len(store) == 0:
+        return "(empty measurement store - nothing to report)"
+
+    sections: List[str] = [render_headline(headline_stats(store))]
+    sections.append(render_fig1(improvement_histogram(store)))
+    sections.append(render_fig2(per_client_histograms(store)))
+    sections.append(render_table1(penalty_table(store)))
+    sections.append(render_table2(top_relays_per_client(store)))
+    sections.append(
+        render_fig3([improvement_vs_throughput(store, label="all clients")])
+    )
+    sections.append(render_fig4(indirect_throughput_series(store)))
+    sections.append(render_fig5(total_utilization_stats(store)))
+
+    set_sizes = {r.set_size for r in store}
+    if len(set_sizes) > 1:
+        sections.append(render_fig6(random_set_curves(store)))
+    clients = {r.client for r in store}
+    if table3_client in clients:
+        rows = utilization_vs_improvement(store, table3_client)
+        if rows:
+            sections.append(render_table3(rows, client=table3_client))
+
+    return "\n\n".join(sections)

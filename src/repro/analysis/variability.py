@@ -1,0 +1,83 @@
+"""Throughput-variability reduction: the paper's closing claim.
+
+§6: "Indirect routing can also be used to decrease throughput variability
+experienced by clients."  The mechanism is selection itself: when the
+direct path dips, the client escapes to a stable overlay path, clipping the
+lower tail of its throughput distribution.
+
+This analysis compares, per client, the coefficient of variation (CV) of
+the control client's direct throughput against the CV of the selecting
+client's achieved throughput over the same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.trace.store import TraceStore
+from repro.util.stats import coefficient_of_variation
+
+__all__ = ["VariabilityComparison", "variability_reduction"]
+
+
+@dataclass(frozen=True)
+class VariabilityComparison:
+    """One client's throughput variability with and without selection."""
+
+    client: str
+    n_transfers: int
+    direct_cv: float
+    selected_cv: float
+    direct_p10: float
+    selected_p10: float
+
+    @property
+    def cv_reduced(self) -> bool:
+        """True when selection lowered the coefficient of variation."""
+        return self.selected_cv < self.direct_cv
+
+    @property
+    def floor_raised(self) -> bool:
+        """True when selection raised the 10th-percentile throughput."""
+        return self.selected_p10 > self.direct_p10
+
+    @property
+    def cv_reduction_percent(self) -> float:
+        """Relative CV reduction in percent (negative = increased)."""
+        if self.direct_cv == 0.0:
+            return 0.0
+        return 100.0 * (self.direct_cv - self.selected_cv) / self.direct_cv
+
+
+def variability_reduction(
+    store: TraceStore,
+    *,
+    clients: Optional[Sequence[str]] = None,
+    min_transfers: int = 8,
+) -> Dict[str, VariabilityComparison]:
+    """Per-client variability comparison over a paired campaign.
+
+    Clients with fewer than ``min_transfers`` rows are skipped (CV of a
+    handful of samples is noise).
+    """
+    groups = store.group_by("client")
+    names = clients if clients is not None else sorted(groups)
+    out: Dict[str, VariabilityComparison] = {}
+    for name in names:
+        sub = groups.get(name)
+        if sub is None or len(sub) < min_transfers:
+            continue
+        direct = sub.column("direct_throughput").astype(np.float64)
+        selected = sub.column("selected_throughput").astype(np.float64)
+        out[name] = VariabilityComparison(
+            client=name,
+            n_transfers=len(sub),
+            direct_cv=coefficient_of_variation(direct),
+            selected_cv=coefficient_of_variation(selected),
+            direct_p10=float(np.percentile(direct, 10)),
+            selected_p10=float(np.percentile(selected, 10)),
+        )
+    return out

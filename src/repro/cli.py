@@ -1,0 +1,253 @@
+"""Command-line interface: run campaigns, render artefacts, browse catalogues.
+
+Usage (also available as ``python -m repro``):
+
+.. code-block:: bash
+
+    repro section2 --reps 30 --out s2.jsonl            # the §2-3 campaign
+    repro section4 --reps 40 --set-sizes 1,4,10,35 --out s4.jsonl
+    repro report s2.jsonl --artifact fig1 table1 headline
+    repro report s4.jsonl --artifact fig6 table3 --client Duke
+    repro catalog                                       # Tables IV & V
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import (
+    full_report,
+    headline_stats,
+    improvement_histogram,
+    improvement_vs_throughput,
+    indirect_throughput_series,
+    penalty_table,
+    per_client_histograms,
+    random_set_curves,
+    render_fig1,
+    render_fig2,
+    render_fig3,
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_headline,
+    render_table1,
+    render_table2,
+    render_table3,
+    top_relays_per_client,
+    total_utilization_stats,
+    utilization_vs_improvement,
+)
+from repro.trace.store import TraceStore
+from repro.util.tables import render_table
+from repro.workloads.experiment import Section2Study, Section4Study
+from repro.workloads.planetlab import (
+    CLIENT_CATALOG,
+    SECTION4_RELAY_CATALOG,
+    RELAY_CATALOG,
+    SITES,
+)
+from repro.workloads.scenario import Scenario, ScenarioSpec
+
+__all__ = ["main", "build_parser"]
+
+#: Artefact name -> renderer over a loaded store.
+_ARTIFACTS = (
+    "all",
+    "headline",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table1",
+    "table2",
+    "table3",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Performance Analysis of Indirect Routing' "
+            "(IPPS 2007): run simulated campaigns and regenerate the "
+            "paper's tables and figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    s2 = sub.add_parser("section2", help="run the §2-3 campaign (22 clients)")
+    s2.add_argument("--reps", type=int, default=30, help="transfers per client")
+    s2.add_argument("--seed", type=int, default=2007)
+    s2.add_argument(
+        "--sites", default="eBay", help="comma-separated sites (default: eBay)"
+    )
+    s2.add_argument("--clients", default=None, help="comma-separated client subset")
+    s2.add_argument("--out", required=True, help="output JSONL path")
+
+    s4 = sub.add_parser("section4", help="run the §4 random-set sweep")
+    s4.add_argument("--reps", type=int, default=40, help="transfers per set size")
+    s4.add_argument("--seed", type=int, default=2007)
+    s4.add_argument(
+        "--set-sizes",
+        default="1,2,4,6,10,16,24,35",
+        help="comma-separated random-set sizes",
+    )
+    s4.add_argument("--out", required=True, help="output JSONL path")
+
+    rep = sub.add_parser("report", help="render artefacts from a saved store")
+    rep.add_argument("store", help="JSONL store written by section2/section4")
+    rep.add_argument(
+        "--artifact",
+        nargs="+",
+        choices=_ARTIFACTS,
+        default=["headline"],
+        help="artefacts to render",
+    )
+    rep.add_argument(
+        "--client", default="Duke", help="client for table3 (default: Duke)"
+    )
+
+    sub.add_parser("catalog", help="print the PlanetLab node catalogues")
+    return parser
+
+
+def _split_csv(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    items = [v.strip() for v in value.split(",") if v.strip()]
+    return items or None
+
+
+def _cmd_section2(args) -> int:
+    sites = _split_csv(args.sites) or ["eBay"]
+    unknown = [s for s in sites if s not in SITES]
+    if unknown:
+        print(f"error: unknown sites {unknown}; choose from {list(SITES)}",
+              file=sys.stderr)
+        return 2
+    scenario = Scenario.build(
+        ScenarioSpec.section2(sites=tuple(sites)), seed=args.seed
+    )
+    clients = _split_csv(args.clients)
+    if clients:
+        missing = [c for c in clients if c not in scenario.client_names]
+        if missing:
+            print(f"error: unknown clients {missing}", file=sys.stderr)
+            return 2
+    study = Section2Study(scenario, repetitions=args.reps)
+    store = study.run(sites=sites, clients=clients)
+    store.save_jsonl(args.out)
+    print(f"wrote {len(store)} records to {args.out}")
+    return 0
+
+
+def _cmd_section4(args) -> int:
+    try:
+        set_sizes = [int(v) for v in args.set_sizes.split(",") if v.strip()]
+    except ValueError:
+        print("error: --set-sizes must be comma-separated integers", file=sys.stderr)
+        return 2
+    if not set_sizes or any(k < 1 for k in set_sizes):
+        print("error: set sizes must be positive", file=sys.stderr)
+        return 2
+    scenario = Scenario.build(ScenarioSpec.section4(), seed=args.seed)
+    study = Section4Study(scenario, repetitions=args.reps)
+    store = study.run_random_set_sweep(set_sizes)
+    store.save_jsonl(args.out)
+    print(f"wrote {len(store)} records to {args.out}")
+    return 0
+
+
+def _render_artifact(name: str, store: TraceStore, *, client: str) -> str:
+    if name == "all":
+        return full_report(store, table3_client=client)
+    if name == "headline":
+        return render_headline(headline_stats(store))
+    if name == "fig1":
+        return render_fig1(improvement_histogram(store))
+    if name == "fig2":
+        return render_fig2(per_client_histograms(store))
+    if name == "fig3":
+        return render_fig3([improvement_vs_throughput(store, label="all clients")])
+    if name == "fig4":
+        return render_fig4(indirect_throughput_series(store))
+    if name == "fig5":
+        return render_fig5(total_utilization_stats(store))
+    if name == "fig6":
+        return render_fig6(random_set_curves(store))
+    if name == "table1":
+        return render_table1(penalty_table(store))
+    if name == "table2":
+        return render_table2(top_relays_per_client(store))
+    if name == "table3":
+        rows = utilization_vs_improvement(store, client)
+        return render_table3(rows, client=client)
+    raise ValueError(f"unknown artifact {name!r}")  # pragma: no cover
+
+
+def _cmd_report(args) -> int:
+    try:
+        store = TraceStore.load_jsonl(args.store)
+    except FileNotFoundError:
+        print(f"error: store {args.store!r} not found", file=sys.stderr)
+        return 2
+    if len(store) == 0:
+        print("error: store is empty", file=sys.stderr)
+        return 2
+    for name in args.artifact:
+        print(_render_artifact(name, store, client=args.client))
+        print()
+    return 0
+
+
+def _cmd_catalog(_args) -> int:
+    print(
+        render_table(
+            ["#", "country", "domain name"],
+            [(i + 1, e.name, e.hostname) for i, e in enumerate(CLIENT_CATALOG)],
+            title="Table IV - PlanetLab client nodes",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["#", "university", "domain name"],
+            [(i + 1, e.name, e.hostname) for i, e in enumerate(RELAY_CATALOG)],
+            title="Table V - PlanetLab intermediate nodes",
+        )
+    )
+    print()
+    extras = [e for e in SECTION4_RELAY_CATALOG if e not in RELAY_CATALOG]
+    print(
+        render_table(
+            ["#", "university", "domain name", "extrapolated"],
+            [
+                (i + 1, e.name, e.hostname, "yes" if e.extrapolated else "no")
+                for i, e in enumerate(extras)
+            ],
+            title="Additional §4 intermediate nodes (Table III / extrapolated)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "section2": _cmd_section2,
+        "section4": _cmd_section4,
+        "report": _cmd_report,
+        "catalog": _cmd_catalog,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

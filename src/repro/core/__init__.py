@@ -1,0 +1,51 @@
+"""The paper's contribution: probe-based indirect path selection."""
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveResult, AdaptiveTransferSession
+from repro.core.history import HistoryRankedPolicy
+from repro.core.oracle import OracleBestRelayPolicy
+from repro.core.policy import (
+    AllRelaysPolicy,
+    DirectOnlyPolicy,
+    LatencyRankedPolicy,
+    SelectionPolicy,
+    SingleRandomRelayPolicy,
+    StaticRelayPolicy,
+)
+from repro.core.predictor import EwmaPredictor, OraclePredictor, PathPredictor
+from repro.core.probe import (
+    DEFAULT_PROBE_BYTES,
+    PathProbe,
+    ProbeEngine,
+    ProbeMode,
+    ProbeOutcome,
+)
+from repro.core.random_set import UniformRandomSetPolicy
+from repro.core.session import SessionConfig, SessionResult, TransferSession
+from repro.core.weighted import UtilizationWeightedPolicy
+
+__all__ = [
+    "DEFAULT_PROBE_BYTES",
+    "ProbeMode",
+    "ProbeEngine",
+    "ProbeOutcome",
+    "PathProbe",
+    "SelectionPolicy",
+    "DirectOnlyPolicy",
+    "StaticRelayPolicy",
+    "AllRelaysPolicy",
+    "SingleRandomRelayPolicy",
+    "LatencyRankedPolicy",
+    "UniformRandomSetPolicy",
+    "UtilizationWeightedPolicy",
+    "OracleBestRelayPolicy",
+    "HistoryRankedPolicy",
+    "PathPredictor",
+    "OraclePredictor",
+    "EwmaPredictor",
+    "SessionConfig",
+    "SessionResult",
+    "TransferSession",
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "AdaptiveTransferSession",
+]

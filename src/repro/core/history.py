@@ -1,0 +1,106 @@
+"""History-ranked relay selection: an RON-flavoured throughput-EWMA policy.
+
+RON-style systems maintain per-path quality estimates from past transfers
+rather than probing fresh each time.  :class:`HistoryRankedPolicy` keeps an
+exponentially weighted moving average of the bulk-phase throughput each
+relay delivered *when chosen*, and offers the top ``k`` estimates.  Unseen
+relays carry an optimistic default, so the policy explores the full set
+before settling (optimism in the face of uncertainty).
+
+Compared with the paper's uniform random set this baseline trades
+exploration for exploitation: it converges on good relays faster but can
+lock onto a stale favourite when conditions shift - which is exactly the
+weakness the paper's fresh-probe design avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.policy import SelectionPolicy
+from repro.util.validation import check_in_range
+
+__all__ = ["HistoryRankedPolicy"]
+
+
+class HistoryRankedPolicy(SelectionPolicy):
+    """Offer the k relays with the best historical throughput EWMA.
+
+    Parameters
+    ----------
+    k:
+        Candidate-set size.
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher = faster forgetting.
+    explore_unseen:
+        When True (default) relays without history rank above any relay
+        with history, guaranteeing every relay is tried.
+    """
+
+    def __init__(self, k: int, *, alpha: float = 0.3, explore_unseen: bool = True):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.alpha = check_in_range(alpha, "alpha", 0.0, 1.0)
+        if self.alpha == 0.0:
+            raise ValueError("alpha must be > 0 (alpha=0 never learns)")
+        self.explore_unseen = bool(explore_unseen)
+        self._estimates: Dict[Tuple[str, str], float] = {}
+
+    @property
+    def name(self) -> str:
+        return f"HistoryRanked(k={self.k})"
+
+    def estimate(self, client: str, relay: str) -> Optional[float]:
+        """Current throughput estimate (bytes/second) or ``None`` if unseen."""
+        return self._estimates.get((client, relay))
+
+    def candidates(
+        self,
+        client: str,
+        server: str,
+        full_set: Sequence[str],
+        rng: np.random.Generator,
+        *,
+        now: float = 0.0,
+    ) -> List[str]:
+        pool = list(full_set)
+        if not pool:
+            return []
+        k = min(self.k, len(pool))
+
+        def rank_key(relay: str):
+            est = self._estimates.get((client, relay))
+            if est is None:
+                # Optimistic default sorts first (or last if disabled).
+                return (0 if self.explore_unseen else 2, 0.0)
+            return (1, -est)
+
+        # Shuffle first so ties (e.g. several unseen relays) break randomly.
+        rng.shuffle(pool)
+        pool.sort(key=rank_key)
+        return pool[:k]
+
+    def observe(
+        self,
+        client: str,
+        server: str,
+        offered: Sequence[str],
+        chosen: Optional[str],
+        throughput: Optional[float] = None,
+    ) -> None:
+        if chosen is None or throughput is None or throughput <= 0.0:
+            return
+        key = (client, chosen)
+        prev = self._estimates.get(key)
+        if prev is None:
+            self._estimates[key] = float(throughput)
+        else:
+            self._estimates[key] = self.alpha * float(throughput) + (1 - self.alpha) * prev
+
+    @property
+    def n_estimates(self) -> int:
+        """Number of (client, relay) pairs with at least one observation."""
+        return len(self._estimates)

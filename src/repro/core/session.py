@@ -1,0 +1,281 @@
+"""The indirect-routing transfer session: probe, decide, fetch.
+
+:class:`TransferSession` implements the paper's full client behaviour for
+one download of an ``n``-byte file:
+
+1. build the direct path and the candidate indirect paths offered by the
+   selection policy;
+2. race HTTP range probes for the first ``x`` bytes over all of them
+   (:mod:`repro.core.probe`);
+3. fetch the remaining ``n - x`` bytes over the winning path;
+4. report client-observed timings and throughputs.
+
+Two throughput views are recorded, because the paper uses both:
+
+``end_to_end_throughput``
+    ``n / (total time including the probe phase)`` - what the selecting
+    client actually experienced.
+``transfer_throughput``
+    The bulk (remainder) phase throughput - the "throughput of the selected
+    path", the quantity the paper's improvement statistics compare against
+    the direct control client (probe overhead excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.probe import (
+    DEFAULT_PROBE_BYTES,
+    ProbeEngine,
+    ProbeMode,
+    ProbeOutcome,
+)
+from repro.http.messages import ByteRange, HttpRequest
+from repro.http.transfer import TcpParams, issue_download
+from repro.overlay.paths import OverlayPath, OverlayPathBuilder
+from repro.tcp.fluid import FluidNetwork
+
+__all__ = ["SessionConfig", "SessionResult", "TransferSession"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Client-side knobs of the selection mechanism.
+
+    ``probe_noise_sigma`` models measurement jitter: sequential selection
+    ranks candidates by ``true throughput x lognormal(0, sigma)``.  Zero
+    (the default) makes selection deterministic; ~0.15 matches the
+    estimation error real 100 KB probes exhibit and yields the paper's
+    imperfect utilisation/improvement correlation (Table III).
+    """
+
+    probe_bytes: float = DEFAULT_PROBE_BYTES
+    probe_mode: ProbeMode = ProbeMode.CONCURRENT
+    tcp: TcpParams = TcpParams()
+    probe_noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.probe_bytes <= 0:
+            raise ValueError(f"probe_bytes must be positive, got {self.probe_bytes}")
+        if self.probe_noise_sigma < 0.0:
+            raise ValueError(
+                f"probe_noise_sigma must be >= 0, got {self.probe_noise_sigma}"
+            )
+
+
+@dataclass
+class SessionResult:
+    """Everything observed about one download."""
+
+    client: str
+    server: str
+    resource: str
+    size: float
+    offered: Tuple[str, ...]
+    selected_via: Optional[str]
+    requested_at: float
+    completed_at: float
+    probe: Optional[ProbeOutcome] = None
+    remainder_started_at: Optional[float] = None
+
+    @property
+    def used_indirect(self) -> bool:
+        """True when the transfer rode an indirect path."""
+        return self.selected_via is not None
+
+    @property
+    def duration(self) -> float:
+        """Total request-to-last-byte time, probe phase included."""
+        return self.completed_at - self.requested_at
+
+    @property
+    def end_to_end_throughput(self) -> float:
+        """Whole-session throughput in bytes/second (probe included)."""
+        if self.duration <= 0.0:
+            raise ValueError("session has non-positive duration")
+        return self.size / self.duration
+
+    @property
+    def transfer_throughput(self) -> float:
+        """Bulk-phase throughput in bytes/second (the paper's metric).
+
+        For sessions with a remainder phase this is
+        ``(n - x) / (remainder time)``; for probe-free or probe-covers-file
+        sessions it equals :attr:`end_to_end_throughput`.
+        """
+        if self.remainder_started_at is None or self.probe is None:
+            return self.end_to_end_throughput
+        bulk_bytes = self.size - min(self.probe.probe_bytes, self.size)
+        bulk_time = self.completed_at - self.remainder_started_at
+        if bulk_time <= 0.0 or bulk_bytes <= 0.0:
+            return self.end_to_end_throughput
+        return bulk_bytes / bulk_time
+
+    @property
+    def probe_overhead_seconds(self) -> float:
+        """Wall time spent in the probe phase (0 for probe-free sessions)."""
+        return self.probe.overhead_seconds if self.probe is not None else 0.0
+
+
+class TransferSession:
+    """Runs complete selection-and-download sessions on one fluid network.
+
+    Parameters
+    ----------
+    network:
+        Transport engine (bound to a simulator).
+    builder:
+        Overlay path builder over the scenario topology.
+    config:
+        Client mechanism parameters.
+    """
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        builder: OverlayPathBuilder,
+        config: SessionConfig = SessionConfig(),
+        *,
+        rng=None,
+    ):
+        if config.probe_noise_sigma > 0.0 and rng is None:
+            raise ValueError(
+                "SessionConfig.probe_noise_sigma > 0 requires an rng "
+                "(pass rng= to TransferSession or Scenario.universe)"
+            )
+        self._network = network
+        self._builder = builder
+        self._config = config
+        self._probe_engine = ProbeEngine(
+            network, tcp=config.tcp, noise_sigma=config.probe_noise_sigma, rng=rng
+        )
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._network.sim.now
+
+    # ------------------------------------------------------------------ #
+    def download_direct(self, client: str, server: str, resource: str) -> SessionResult:
+        """The control client: one full GET over the direct path."""
+        path = self._builder.direct(client, server)
+        return self._full_download(path, client, server, resource)
+
+    def download_via(
+        self, client: str, server: str, resource: str, relay: Optional[str]
+    ) -> SessionResult:
+        """A probe-free full download over an externally chosen path.
+
+        This is how a RON-style client operates: the routing decision comes
+        from background monitoring state, not a per-transfer probe race.
+        ``relay=None`` fetches over the direct path.
+        """
+        if relay is None:
+            return self.download_direct(client, server, resource)
+        path = self._builder.indirect(client, relay, server)
+        return self._full_download(path, client, server, resource)
+
+    def download(
+        self,
+        client: str,
+        server: str,
+        resource: str,
+        relays: Sequence[str],
+    ) -> SessionResult:
+        """One selection session: probe direct + ``relays``, fetch remainder.
+
+        With an empty ``relays`` the session degenerates to a plain direct
+        download (no probe phase, matching the control client).
+        """
+        if not relays:
+            return self.download_direct(client, server, resource)
+        direct = self._builder.direct(client, server)
+        candidates: List[OverlayPath] = [direct] + [
+            self._builder.indirect(client, relay, server) for relay in relays
+        ]
+        size = float(direct.server.resource_size(resource))
+        requested_at = self.now
+
+        outcome = self._probe_engine.run(
+            candidates,
+            resource,
+            probe_bytes=self._config.probe_bytes,
+            mode=self._config.probe_mode,
+        )
+        winner = outcome.winner
+        x = min(self._config.probe_bytes, size)
+
+        if x >= size:
+            # The probe already fetched the whole file over the winner.
+            return SessionResult(
+                client=client,
+                server=server,
+                resource=resource,
+                size=size,
+                offered=tuple(relays),
+                selected_via=winner.via,
+                requested_at=requested_at,
+                completed_at=self.now,
+                probe=outcome,
+            )
+
+        remainder_started_at = self.now
+        request = HttpRequest(
+            host=winner.server.name,
+            path=resource,
+            byte_range=ByteRange.suffix_from(int(x)),
+            via=winner.via,
+        )
+        transfer = issue_download(
+            self._network,
+            winner.route,
+            winner.server,
+            request,
+            proxy=winner.proxy,
+            tcp=self._config.tcp,
+            name=f"remainder:{winner.label}",
+        )
+        self._network.run_to_completion(transfer.flow)
+
+        return SessionResult(
+            client=client,
+            server=server,
+            resource=resource,
+            size=size,
+            offered=tuple(relays),
+            selected_via=winner.via,
+            requested_at=requested_at,
+            completed_at=self.now,
+            probe=outcome,
+            remainder_started_at=remainder_started_at,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _full_download(
+        self, path: OverlayPath, client: str, server: str, resource: str
+    ) -> SessionResult:
+        size = float(path.server.resource_size(resource))
+        requested_at = self.now
+        request = HttpRequest(host=path.server.name, path=resource, via=path.via)
+        transfer = issue_download(
+            self._network,
+            path.route,
+            path.server,
+            request,
+            proxy=path.proxy,
+            tcp=self._config.tcp,
+            name=f"full:{path.label}",
+        )
+        self._network.run_to_completion(transfer.flow)
+        return SessionResult(
+            client=client,
+            server=server,
+            resource=resource,
+            size=size,
+            offered=(),
+            selected_via=path.via,
+            requested_at=requested_at,
+            completed_at=self.now,
+        )

@@ -1,0 +1,65 @@
+"""Relay proxy model: the paper's "forwarding service".
+
+Each intermediate node runs a proxy that accepts a client's HTTP request,
+re-issues it to the origin server and streams the response back
+(*cut-through*: bytes are forwarded as they arrive, so the end-to-end
+indirect transfer behaves as one flow whose bottleneck is the slowest hop).
+The proxy layer here handles the message-level mechanics; byte movement is
+one fluid flow over the concatenated route built by
+:meth:`repro.net.topology.Topology.indirect_route`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.http.messages import HttpRequest, HttpResponse
+from repro.http.server import WebServer
+
+__all__ = ["RelayProxy"]
+
+
+class RelayProxy:
+    """The forwarding service on an intermediate node.
+
+    Parameters
+    ----------
+    name:
+        The relay node's name (must match a relay in the topology).
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("relay name must be non-empty")
+        self.name = name
+        self._origins: Dict[str, WebServer] = {}
+        #: Number of requests this relay has forwarded (bookkeeping).
+        self.forwarded_count = 0
+
+    def register_origin(self, server: WebServer) -> None:
+        """Make an origin server reachable through this relay."""
+        self._origins[server.name] = server
+
+    def knows_origin(self, host: str) -> bool:
+        """True if this relay can forward to ``host``."""
+        return host in self._origins
+
+    def forward(self, request: HttpRequest) -> HttpResponse:
+        """Re-issue ``request`` to its origin and relay the response.
+
+        The returned response describes the bytes that will stream through
+        this relay to the client.  Raises ``KeyError`` when the origin is
+        unknown (a relay misconfiguration, surfaced loudly).
+        """
+        try:
+            origin = self._origins[request.host]
+        except KeyError:
+            raise KeyError(
+                f"relay {self.name!r} has no route to origin {request.host!r}"
+            ) from None
+        response = origin.handle(request.forwarded(self.name))
+        self.forwarded_count += 1
+        return response
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelayProxy({self.name!r}, origins={sorted(self._origins)})"

@@ -1,0 +1,43 @@
+"""Network substrate: nodes, links, capacity processes, topology, routes."""
+
+from repro.net.capacity import (
+    CapacityProcess,
+    CompositeCapacity,
+    ConstantCapacity,
+    DiurnalCapacity,
+    LognormalAR1Capacity,
+    MarkovModulatedCapacity,
+    TraceReplayCapacity,
+)
+from repro.net.failures import Outage, OutageGenerator, apply_outages, total_downtime
+from repro.net.latency import DEFAULT_ONE_WAY_DELAYS, REGIONS, LatencyModel
+from repro.net.link import Link
+from repro.net.node import Node, NodeKind
+from repro.net.route import Route
+from repro.net.topology import Topology, access_link_name, wan_link_name
+from repro.net.trace import CapacityTrace
+
+__all__ = [
+    "CapacityTrace",
+    "CapacityProcess",
+    "ConstantCapacity",
+    "MarkovModulatedCapacity",
+    "LognormalAR1Capacity",
+    "CompositeCapacity",
+    "DiurnalCapacity",
+    "TraceReplayCapacity",
+    "Outage",
+    "OutageGenerator",
+    "apply_outages",
+    "total_downtime",
+    "LatencyModel",
+    "REGIONS",
+    "DEFAULT_ONE_WAY_DELAYS",
+    "Node",
+    "NodeKind",
+    "Link",
+    "Route",
+    "Topology",
+    "access_link_name",
+    "wan_link_name",
+]

@@ -1,0 +1,302 @@
+"""Stochastic models of time-varying available link capacity.
+
+The paper's phenomenology rests on *throughput diversity*: direct Internet
+paths exhibit time-varying available bandwidth (load and statistical
+multiplexing change during a transfer, cf. He et al. [11]), while overlay
+links to well-connected relays are comparatively stable (paper Fig. 4).
+
+Each process model here compiles, for a given duration and RNG, to a
+:class:`~repro.net.trace.CapacityTrace`.  All rates are bytes/second.
+
+Models
+------
+ConstantCapacity
+    Fixed available capacity; the stable baseline.
+MarkovModulatedCapacity
+    A continuous-time Markov chain over discrete congestion states, each a
+    multiplier on a base capacity, with exponential holding times.  This is
+    the classic model for background-load regimes and produces the abrupt
+    "jumps" the paper observes on direct paths.
+LognormalAR1Capacity
+    Log-space AR(1) sampled on a regular grid; smooth medium-frequency
+    wander around a base capacity.
+CompositeCapacity
+    Pointwise minimum/product composition of sub-processes, e.g. a stable
+    base with occasional congestion episodes layered on top.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.trace import CapacityTrace
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "CapacityProcess",
+    "ConstantCapacity",
+    "MarkovModulatedCapacity",
+    "LognormalAR1Capacity",
+    "DiurnalCapacity",
+    "TraceReplayCapacity",
+    "CompositeCapacity",
+]
+
+
+class CapacityProcess(abc.ABC):
+    """A generative model of available capacity over time."""
+
+    @abc.abstractmethod
+    def sample(self, duration: float, rng: np.random.Generator) -> CapacityTrace:
+        """Draw one realisation covering at least ``[0, duration]``."""
+
+    @abc.abstractmethod
+    def mean_capacity(self) -> float:
+        """The process's stationary mean capacity (bytes/second)."""
+
+
+@dataclass(frozen=True)
+class ConstantCapacity(CapacityProcess):
+    """Deterministic constant capacity."""
+
+    capacity: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.capacity, "capacity")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> CapacityTrace:
+        check_non_negative(duration, "duration")
+        return CapacityTrace.constant(self.capacity)
+
+    def mean_capacity(self) -> float:
+        return self.capacity
+
+
+@dataclass(frozen=True)
+class MarkovModulatedCapacity(CapacityProcess):
+    """CTMC over congestion states; capacity = base * multiplier(state).
+
+    Parameters
+    ----------
+    base:
+        Base capacity in bytes/second.
+    multipliers:
+        Capacity multiplier per state (e.g. ``(1.0, 0.4, 1.5)``).
+    stationary:
+        Stationary probability of each state (sums to 1).  Transitions are
+        sampled by drawing the next state from the stationary distribution
+        excluding the current state (a "jump-to-stationary" chain), which has
+        exactly ``stationary`` as its long-run state occupancy when holding
+        times are proportional to ``stationary``.
+    mean_holding:
+        Mean sojourn time of each state in seconds.
+    """
+
+    base: float
+    multipliers: Tuple[float, ...] = (1.0, 0.45, 1.4)
+    stationary: Tuple[float, ...] = (0.70, 0.15, 0.15)
+    mean_holding: Tuple[float, ...] = (300.0, 120.0, 180.0)
+
+    def __post_init__(self) -> None:
+        check_positive(self.base, "base")
+        check_same_length(self.multipliers, self.stationary, "multipliers", "stationary")
+        check_same_length(self.multipliers, self.mean_holding, "multipliers", "mean_holding")
+        if len(self.multipliers) < 2:
+            raise ValueError("need at least two states")
+        for m in self.multipliers:
+            check_non_negative(m, "multiplier")
+        for h in self.mean_holding:
+            check_positive(h, "mean_holding")
+        total = float(sum(self.stationary))
+        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
+            raise ValueError(f"stationary probabilities must sum to 1, got {total}")
+        for p in self.stationary:
+            check_probability(p, "stationary probability")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> CapacityTrace:
+        check_non_negative(duration, "duration")
+        pi = np.asarray(self.stationary, dtype=np.float64)
+        holds = np.asarray(self.mean_holding, dtype=np.float64)
+        mults = np.asarray(self.multipliers, dtype=np.float64)
+        n = pi.size
+
+        times: List[float] = [0.0]
+        states: List[int] = [int(rng.choice(n, p=pi))]
+        t = 0.0
+        while t <= duration:
+            state = states[-1]
+            t += float(rng.exponential(holds[state]))
+            times.append(t)
+            # Draw the next (different) state in proportion to stationary mass.
+            weights = pi.copy()
+            weights[state] = 0.0
+            weights /= weights.sum()
+            states.append(int(rng.choice(n, p=weights)))
+        values = self.base * mults[np.asarray(states, dtype=np.intp)]
+        return CapacityTrace(np.asarray(times), values)
+
+    def mean_capacity(self) -> float:
+        pi = np.asarray(self.stationary)
+        mults = np.asarray(self.multipliers)
+        return float(self.base * np.dot(pi, mults))
+
+    @property
+    def dynamic_range(self) -> float:
+        """max/min multiplier ratio; a crude variability index."""
+        lo = min(m for m in self.multipliers if m > 0.0)
+        return max(self.multipliers) / lo
+
+
+@dataclass(frozen=True)
+class LognormalAR1Capacity(CapacityProcess):
+    """Log-space AR(1) wander around a base capacity, sampled on a grid.
+
+    ``log(c_t / base)`` follows an AR(1) with autocorrelation ``phi`` per
+    step and stationary standard deviation ``sigma`` (in log space).  The
+    grid step controls how often capacity changes.
+    """
+
+    base: float
+    sigma: float = 0.25
+    phi: float = 0.9
+    step: float = 60.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.base, "base")
+        check_non_negative(self.sigma, "sigma")
+        check_probability(abs(self.phi), "abs(phi)")
+        check_positive(self.step, "step")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> CapacityTrace:
+        check_non_negative(duration, "duration")
+        n = int(math.floor(duration / self.step)) + 2
+        # Innovation std chosen so the stationary std is exactly sigma.
+        innov = self.sigma * math.sqrt(max(1.0 - self.phi * self.phi, 0.0))
+        eps = rng.normal(0.0, 1.0, size=n)
+        log_dev = np.empty(n)
+        log_dev[0] = rng.normal(0.0, self.sigma) if self.sigma > 0 else 0.0
+        for i in range(1, n):  # short loop; n ~ duration/step
+            log_dev[i] = self.phi * log_dev[i - 1] + innov * eps[i]
+        times = np.arange(n, dtype=np.float64) * self.step
+        # Divide by the lognormal mean so mean_capacity() == base.
+        correction = math.exp(0.5 * self.sigma * self.sigma)
+        values = self.base * np.exp(log_dev) / correction
+        return CapacityTrace(times, values)
+
+    def mean_capacity(self) -> float:
+        return self.base
+
+
+@dataclass(frozen=True)
+class DiurnalCapacity(CapacityProcess):
+    """Sinusoidal time-of-day modulation around a base capacity.
+
+    The paper's §4 methodology interleaves its two client processes "so that
+    time-of-day effects are minimized"; this process makes those effects
+    available to model explicitly:
+
+    ``c(t) = base * (1 + amplitude * sin(2*pi*(t + phase)/period))``
+
+    sampled on a regular grid.  ``amplitude`` must stay below 1 so capacity
+    remains positive.
+    """
+
+    base: float
+    amplitude: float = 0.3
+    period: float = 86_400.0
+    phase: float = 0.0
+    step: float = 600.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.base, "base")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(f"amplitude must lie in [0, 1), got {self.amplitude}")
+        check_positive(self.period, "period")
+        check_positive(self.step, "step")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> CapacityTrace:
+        check_non_negative(duration, "duration")
+        n = int(math.floor(duration / self.step)) + 2
+        times = np.arange(n, dtype=np.float64) * self.step
+        values = self.base * (
+            1.0
+            + self.amplitude
+            * np.sin(2.0 * math.pi * (times + self.phase) / self.period)
+        )
+        return CapacityTrace(times, values)
+
+    def mean_capacity(self) -> float:
+        return self.base
+
+
+@dataclass(frozen=True)
+class TraceReplayCapacity(CapacityProcess):
+    """Replay a recorded capacity trace (e.g. from real measurements).
+
+    The substitution path for users who *do* have bandwidth measurements:
+    wrap them in a trace and drop them into any scenario.  ``loop`` repeats
+    the recording to cover longer horizons (the trace's final piece must
+    then have the same duration as its mean piece, which we approximate by
+    tiling breakpoints).
+    """
+
+    trace: CapacityTrace
+    loop: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.trace, CapacityTrace):
+            raise TypeError(f"trace must be a CapacityTrace, got {type(self.trace)!r}")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> CapacityTrace:
+        check_non_negative(duration, "duration")
+        span = float(self.trace.times[-1])
+        if not self.loop or span <= 0.0 or duration <= span:
+            return self.trace
+        reps = int(math.ceil(duration / span)) + 1
+        times = np.concatenate(
+            [self.trace.times[:-1] + k * span for k in range(reps)] + [[reps * span]]
+        )
+        values = np.concatenate(
+            [self.trace.values[:-1] for _ in range(reps)] + [[self.trace.values[-1]]]
+        )
+        return CapacityTrace(times, values)
+
+    def mean_capacity(self) -> float:
+        span = float(self.trace.times[-1])
+        if span <= 0.0:
+            return float(self.trace.values[0])
+        return self.trace.integrate(0.0, span) / span
+
+
+@dataclass(frozen=True)
+class CompositeCapacity(CapacityProcess):
+    """Pointwise-minimum composition of independent sub-processes.
+
+    The capacity at time t is ``min_i c_i(t)``.  Useful for "a stable access
+    pipe intersected with an occasionally congested WAN segment".  The mean
+    reported is the minimum of component means (a lower bound used only for
+    calibration sanity checks).
+    """
+
+    components: Tuple[CapacityProcess, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.components) == 0:
+            raise ValueError("CompositeCapacity needs at least one component")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> CapacityTrace:
+        traces = [c.sample(duration, rng) for c in self.components]
+        return CapacityTrace.minimum(traces)
+
+    def mean_capacity(self) -> float:
+        return min(c.mean_capacity() for c in self.components)

@@ -1,0 +1,147 @@
+"""Path failure (outage) modelling.
+
+The paper's lineage - RON [1], one-hop source routing [2], MONET [12] -
+motivates indirect routing with *failure masking*: when the default route
+dies, a one-hop detour keeps the transfer alive.  The paper itself measures
+only throughput, but its mechanism inherits the masking property for free
+(a dead direct path simply loses the probe race).
+
+An :class:`Outage` zeroes a link's capacity for an interval;
+:func:`apply_outages` rewrites a capacity trace accordingly, and
+:class:`OutageGenerator` draws Poisson outage processes (exponential
+inter-failure gaps and repair times), the standard availability model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.net.trace import CapacityTrace
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["Outage", "apply_outages", "OutageGenerator", "total_downtime"]
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One link failure interval ``[start, start + duration)``."""
+
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.start, "start")
+        check_positive(self.duration, "duration")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """True when the outage intersects ``[t0, t1)``."""
+        return self.start < t1 and t0 < self.end
+
+
+def apply_outages(trace: CapacityTrace, outages: Sequence[Outage]) -> CapacityTrace:
+    """Return a copy of ``trace`` with capacity forced to 0 during outages.
+
+    Outages must be non-overlapping (as produced by
+    :class:`OutageGenerator`); the underlying capacity resumes at each
+    outage's end (right-continuous semantics preserved).
+    """
+    if not outages:
+        return trace
+    ordered = sorted(outages, key=lambda o: o.start)
+    for prev, nxt in zip(ordered, ordered[1:]):
+        if nxt.start < prev.end:
+            raise ValueError(
+                f"outages overlap: [{prev.start}, {prev.end}) and "
+                f"[{nxt.start}, {nxt.end})"
+            )
+    times = list(trace.times)
+    values = list(trace.values)
+    for outage in ordered:
+        new_times: List[float] = []
+        new_values: List[float] = []
+        resumed_value = trace.value_at(outage.end)
+        inserted_start = False
+        inserted_end = False
+        for t, v in zip(times, values):
+            if t < outage.start:
+                new_times.append(t)
+                new_values.append(v)
+            elif t < outage.end:
+                if not inserted_start:
+                    new_times.append(outage.start)
+                    new_values.append(0.0)
+                    inserted_start = True
+                # breakpoints inside the outage are swallowed (capacity 0).
+            else:
+                if not inserted_start:
+                    new_times.append(outage.start)
+                    new_values.append(0.0)
+                    inserted_start = True
+                if not inserted_end:
+                    new_times.append(outage.end)
+                    new_values.append(resumed_value)
+                    inserted_end = True
+                if t > outage.end:
+                    new_times.append(t)
+                    new_values.append(v)
+        if not inserted_start:  # outage starts after the last breakpoint
+            new_times.append(outage.start)
+            new_values.append(0.0)
+        if not inserted_end:
+            new_times.append(outage.end)
+            new_values.append(resumed_value)
+        times, values = new_times, new_values
+    return CapacityTrace(times, values)
+
+
+@dataclass(frozen=True)
+class OutageGenerator:
+    """Poisson failures with exponential repair times.
+
+    Parameters
+    ----------
+    mtbf:
+        Mean time between failure *starts*, seconds.
+    mean_duration:
+        Mean outage length, seconds.
+    """
+
+    mtbf: float
+    mean_duration: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.mtbf, "mtbf")
+        check_positive(self.mean_duration, "mean_duration")
+
+    def sample(self, horizon: float, rng: np.random.Generator) -> List[Outage]:
+        """Draw the outages striking within ``[0, horizon]``."""
+        check_non_negative(horizon, "horizon")
+        outages: List[Outage] = []
+        t = float(rng.exponential(self.mtbf))
+        while t < horizon:
+            duration = max(float(rng.exponential(self.mean_duration)), 1e-3)
+            outages.append(Outage(start=t, duration=duration))
+            t = t + duration + float(rng.exponential(self.mtbf))
+        return outages
+
+    @property
+    def availability(self) -> float:
+        """Long-run fraction of time the link is up."""
+        return self.mtbf / (self.mtbf + self.mean_duration)
+
+
+def total_downtime(outages: Iterable[Outage], t0: float, t1: float) -> float:
+    """Seconds of outage overlapping ``[t0, t1]`` (outages must not overlap)."""
+    if t1 < t0:
+        raise ValueError(f"t1={t1} must be >= t0={t0}")
+    down = 0.0
+    for o in outages:
+        down += max(0.0, min(o.end, t1) - max(o.start, t0))
+    return down

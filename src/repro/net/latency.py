@@ -1,0 +1,99 @@
+"""Propagation-latency model.
+
+One-way propagation delay between two nodes is looked up from a coarse
+region-pair table (continental distances dominate) plus a small per-node
+jitter assigned at scenario-build time.  Latency matters in this study only
+through TCP dynamics: it sets slow-start duration (why the paper needs
+x = 100 KB probes) and the maximum window-limited rate ``W_max / RTT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["LatencyModel", "REGIONS", "DEFAULT_ONE_WAY_DELAYS"]
+
+#: Regions used by the PlanetLab workload (Tables IV/V).
+REGIONS: Tuple[str, ...] = (
+    "us",
+    "canada",
+    "europe",
+    "middle_east",
+    "asia",
+    "oceania",
+    "south_america",
+)
+
+
+def _key(a: str, b: str) -> FrozenSet[str]:
+    return frozenset((a, b))
+
+
+#: One-way propagation delay in seconds between region pairs.  Values are
+#: typical great-circle RTT/2 figures for 2005-era Internet paths.
+DEFAULT_ONE_WAY_DELAYS: Dict[FrozenSet[str], float] = {
+    _key("us", "us"): 0.025,
+    _key("us", "canada"): 0.030,
+    _key("us", "europe"): 0.055,
+    _key("us", "middle_east"): 0.085,
+    _key("us", "asia"): 0.090,
+    _key("us", "oceania"): 0.095,
+    _key("us", "south_america"): 0.080,
+    _key("canada", "canada"): 0.020,
+    _key("canada", "europe"): 0.060,
+    _key("canada", "middle_east"): 0.090,
+    _key("canada", "asia"): 0.090,
+    _key("canada", "oceania"): 0.100,
+    _key("canada", "south_america"): 0.085,
+    _key("europe", "europe"): 0.020,
+    _key("europe", "middle_east"): 0.040,
+    _key("europe", "asia"): 0.120,
+    _key("europe", "oceania"): 0.150,
+    _key("europe", "south_america"): 0.110,
+    _key("middle_east", "middle_east"): 0.015,
+    _key("middle_east", "asia"): 0.090,
+    _key("middle_east", "oceania"): 0.140,
+    _key("middle_east", "south_america"): 0.130,
+    _key("asia", "asia"): 0.040,
+    _key("asia", "oceania"): 0.070,
+    _key("asia", "south_america"): 0.160,
+    _key("oceania", "oceania"): 0.020,
+    _key("oceania", "south_america"): 0.150,
+    _key("south_america", "south_america"): 0.030,
+}
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Region-pair one-way delay lookup with an additive access delay.
+
+    Parameters
+    ----------
+    table:
+        Mapping from region pairs to one-way propagation delay (seconds).
+    access_delay:
+        Extra one-way delay added per path endpoint pair (last-mile and
+        queueing), in seconds.
+    """
+
+    table: Dict[FrozenSet[str], float] = field(default_factory=lambda: dict(DEFAULT_ONE_WAY_DELAYS))
+    access_delay: float = 0.005
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.access_delay, "access_delay")
+        for k, v in self.table.items():
+            check_non_negative(v, f"delay[{sorted(k)}]")
+
+    def one_way(self, region_a: str, region_b: str) -> float:
+        """One-way delay in seconds between two regions."""
+        key = _key(region_a, region_b)
+        if key not in self.table:
+            raise KeyError(f"no latency entry for regions {region_a!r}, {region_b!r}")
+        return self.table[key] + self.access_delay
+
+    def rtt(self, region_a: str, region_b: str) -> float:
+        """Round-trip time in seconds between two regions."""
+        return 2.0 * self.one_way(region_a, region_b)

@@ -1,0 +1,200 @@
+"""Piecewise-constant capacity traces.
+
+A :class:`CapacityTrace` represents a link's available capacity over time as
+a right-continuous step function: capacity is ``values[i]`` on
+``[times[i], times[i+1])`` and ``values[-1]`` from ``times[-1]`` onward.
+
+Traces are the *only* representation of time-varying link state seen by the
+transport engine.  Stochastic capacity processes (``repro.net.capacity``) are
+compiled to traces ahead of simulation, which gives us:
+
+* determinism - the control (direct-only) client and the selecting client
+  observe the identical network, mirroring the paper's concurrent-pair
+  methodology;
+* speed - queries are numpy ``searchsorted`` lookups, integration is a
+  vectorised prefix-sum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_non_negative, check_same_length, check_sorted
+
+__all__ = ["CapacityTrace"]
+
+
+class CapacityTrace:
+    """An immutable piecewise-constant non-negative function of time.
+
+    Parameters
+    ----------
+    times:
+        Breakpoints, non-decreasing, with ``times[0] == 0.0``.
+    values:
+        Capacity (bytes/second) on each piece; same length as ``times``.
+    """
+
+    __slots__ = ("_times", "_values", "_cum")
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]):
+        t = check_sorted(times, "times")
+        v = np.asarray(values, dtype=np.float64).reshape(-1)
+        check_same_length(t, v, "times", "values")
+        if t.size == 0:
+            raise ValueError("a trace needs at least one piece")
+        if t[0] != 0.0:
+            raise ValueError(f"times[0] must be 0.0, got {t[0]}")
+        if np.any(v < 0.0):
+            raise ValueError("capacities must be non-negative")
+        # Drop zero-length pieces (repeated breakpoints keep the last value).
+        if t.size > 1:
+            keep = np.empty(t.size, dtype=bool)
+            keep[:-1] = t[1:] > t[:-1]
+            keep[-1] = True
+            t = t[keep]
+            v = v[keep]
+        self._times = t
+        self._values = v
+        self._times.setflags(write=False)
+        self._values.setflags(write=False)
+        # Cumulative integral up to each breakpoint, for O(log n) integration.
+        seg = np.diff(t) * v[:-1]
+        self._cum = np.concatenate(([0.0], np.cumsum(seg)))
+        self._cum.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def constant(cls, capacity: float) -> "CapacityTrace":
+        """A trace with a single constant capacity."""
+        check_non_negative(capacity, "capacity")
+        return cls([0.0], [capacity])
+
+    @classmethod
+    def from_steps(cls, steps: Iterable[Tuple[float, float]]) -> "CapacityTrace":
+        """Build from ``(time, value)`` pairs (must start at time 0)."""
+        pairs = list(steps)
+        return cls([p[0] for p in pairs], [p[1] for p in pairs])
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def times(self) -> np.ndarray:
+        """Breakpoint times (read-only view)."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """Per-piece capacities (read-only view)."""
+        return self._values
+
+    @property
+    def n_pieces(self) -> int:
+        """Number of constant pieces."""
+        return int(self._times.size)
+
+    def value_at(self, t: float) -> float:
+        """Capacity at time ``t`` (right-continuous; clamped before 0)."""
+        if t <= 0.0:
+            return float(self._values[0])
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return float(self._values[idx])
+
+    def values_at(self, ts: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`value_at` over an array of times."""
+        arr = np.asarray(ts, dtype=np.float64)
+        idx = np.searchsorted(self._times, arr, side="right") - 1
+        np.clip(idx, 0, None, out=idx)
+        return self._values[idx]
+
+    def next_change_after(self, t: float) -> float:
+        """First breakpoint strictly after ``t``, or ``inf`` if none."""
+        idx = int(np.searchsorted(self._times, t, side="right"))
+        if idx >= self._times.size:
+            return float("inf")
+        return float(self._times[idx])
+
+    def integrate(self, t0: float, t1: float) -> float:
+        """Integral of capacity over ``[t0, t1]`` (bytes deliverable)."""
+        if t1 < t0:
+            raise ValueError(f"t1={t1} must be >= t0={t0}")
+        return self._antiderivative(t1) - self._antiderivative(t0)
+
+    def _antiderivative(self, t: float) -> float:
+        if t <= 0.0:
+            return float(self._values[0]) * t  # linear extension before 0
+        idx = int(np.searchsorted(self._times, t, side="right")) - 1
+        return float(self._cum[idx] + (t - self._times[idx]) * self._values[idx])
+
+    def min_over(self, t0: float, t1: float) -> float:
+        """Minimum capacity attained anywhere in ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"t1={t1} must be >= t0={t0}")
+        i0 = max(int(np.searchsorted(self._times, t0, side="right")) - 1, 0)
+        i1 = max(int(np.searchsorted(self._times, t1, side="right")) - 1, i0)
+        return float(np.min(self._values[i0 : i1 + 1]))
+
+    def mean_over(self, t0: float, t1: float) -> float:
+        """Time-average capacity over ``[t0, t1]`` (value at a point if t0==t1)."""
+        if t1 < t0:
+            raise ValueError(f"t1={t1} must be >= t0={t0}")
+        if t1 == t0:
+            return self.value_at(t0)
+        return self.integrate(t0, t1) / (t1 - t0)
+
+    # ------------------------------------------------------------------ #
+    # algebra
+    # ------------------------------------------------------------------ #
+    def scaled(self, factor: float) -> "CapacityTrace":
+        """A new trace with every capacity multiplied by ``factor >= 0``."""
+        check_non_negative(factor, "factor")
+        return CapacityTrace(self._times, self._values * factor)
+
+    def clipped(self, cap: float) -> "CapacityTrace":
+        """A new trace with capacities clipped from above at ``cap``."""
+        check_non_negative(cap, "cap")
+        return CapacityTrace(self._times, np.minimum(self._values, cap))
+
+    def shifted(self, offset: float) -> "CapacityTrace":
+        """A new trace time-shifted *left* by ``offset`` (view from t=offset).
+
+        The returned trace at time ``s`` equals this trace at ``offset + s``.
+        Used to re-base a long scenario trace to a transfer's start time.
+        """
+        check_non_negative(offset, "offset")
+        idx = max(int(np.searchsorted(self._times, offset, side="right")) - 1, 0)
+        new_times = np.concatenate(([0.0], self._times[idx + 1 :] - offset))
+        new_values = self._values[idx:]
+        return CapacityTrace(new_times, new_values)
+
+    @staticmethod
+    def minimum(traces: Sequence["CapacityTrace"]) -> "CapacityTrace":
+        """Pointwise minimum of several traces (union of breakpoints)."""
+        if not traces:
+            raise ValueError("need at least one trace")
+        if len(traces) == 1:
+            return traces[0]
+        all_times = np.unique(np.concatenate([t._times for t in traces]))
+        stacked = np.vstack([t.values_at(all_times) for t in traces])
+        return CapacityTrace(all_times, np.min(stacked, axis=0))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CapacityTrace)
+            and np.array_equal(self._times, other._times)
+            and np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._times.tobytes(), self._values.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CapacityTrace(pieces={self.n_pieces}, "
+            f"mean={float(np.mean(self._values)):.1f} B/s)"
+        )

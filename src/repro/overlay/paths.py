@@ -1,0 +1,112 @@
+"""Overlay path construction: pairing routes with the services on them.
+
+An :class:`OverlayPathBuilder` wraps a topology, a relay registry and the
+origin servers, and produces ready-to-use *path handles*: the route plus the
+proxy (for indirect paths) needed to issue a download.  The core selection
+layer works entirely in terms of these handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.http.proxy import RelayProxy
+from repro.http.server import WebServer
+from repro.net.route import Route
+from repro.net.topology import Topology
+from repro.overlay.registry import RelayRegistry
+
+__all__ = ["OverlayPath", "OverlayPathBuilder"]
+
+
+@dataclass(frozen=True)
+class OverlayPath:
+    """A usable path: route plus the relay proxy when indirect.
+
+    ``proxy is None`` exactly when the path is direct.
+    """
+
+    route: Route
+    server: WebServer
+    proxy: Optional[RelayProxy] = None
+
+    def __post_init__(self) -> None:
+        if self.route.is_indirect and self.proxy is None:
+            raise ValueError("indirect path requires a proxy")
+        if not self.route.is_indirect and self.proxy is not None:
+            raise ValueError("direct path must not carry a proxy")
+        if self.proxy is not None and self.proxy.name != self.route.via:
+            raise ValueError(
+                f"proxy {self.proxy.name!r} does not match route via {self.route.via!r}"
+            )
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.route.is_indirect
+
+    @property
+    def via(self) -> Optional[str]:
+        """Relay name, or ``None`` for the direct path."""
+        return self.route.via
+
+    @property
+    def label(self) -> str:
+        """Short display label (``direct`` or the relay name)."""
+        return self.via or "direct"
+
+
+class OverlayPathBuilder:
+    """Builds direct and indirect :class:`OverlayPath` handles.
+
+    Parameters
+    ----------
+    topology:
+        The network with all access and WAN links in place.
+    registry:
+        Deployed relay proxies.
+    servers:
+        Origin servers by name.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        registry: RelayRegistry,
+        servers: Dict[str, WebServer],
+    ):
+        self.topology = topology
+        self.registry = registry
+        self._servers = dict(servers)
+
+    def server(self, name: str) -> WebServer:
+        """Look up an origin server."""
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise KeyError(f"unknown server {name!r}") from None
+
+    def direct(self, client: str, server: str) -> OverlayPath:
+        """The direct path handle from ``server`` to ``client``."""
+        origin = self.server(server)  # fail fast on unknown servers
+        return OverlayPath(
+            route=self.topology.direct_route(client, server),
+            server=origin,
+        )
+
+    def indirect(self, client: str, relay: str, server: str) -> OverlayPath:
+        """The one-hop indirect path handle via ``relay``."""
+        proxy = self.registry.proxy(relay)
+        if not proxy.knows_origin(server):
+            raise ValueError(f"relay {relay!r} cannot reach origin {server!r}")
+        return OverlayPath(
+            route=self.topology.indirect_route(client, relay, server),
+            server=self.server(server),
+            proxy=proxy,
+        )
+
+    def all_indirect(self, client: str, server: str) -> List[OverlayPath]:
+        """Indirect path handles through every deployed relay (the full set)."""
+        return [
+            self.indirect(client, relay, server) for relay in self.registry.names
+        ]

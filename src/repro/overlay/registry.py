@@ -1,0 +1,58 @@
+"""Relay registry: the paper's "full set" of intermediate nodes.
+
+The registry tracks every deployed relay proxy, which origins each can
+reach, and hands out the candidate set that selection policies draw from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.http.proxy import RelayProxy
+from repro.http.server import WebServer
+
+__all__ = ["RelayRegistry"]
+
+
+class RelayRegistry:
+    """Registry of deployed relay proxies (name -> proxy)."""
+
+    def __init__(self) -> None:
+        self._proxies: Dict[str, RelayProxy] = {}
+
+    def deploy(self, name: str) -> RelayProxy:
+        """Deploy (register) a relay's forwarding service; names are unique."""
+        if name in self._proxies:
+            raise ValueError(f"relay {name!r} already deployed")
+        proxy = RelayProxy(name)
+        self._proxies[name] = proxy
+        return proxy
+
+    def proxy(self, name: str) -> RelayProxy:
+        """Look up a deployed relay."""
+        try:
+            return self._proxies[name]
+        except KeyError:
+            raise KeyError(f"relay {name!r} is not deployed") from None
+
+    def register_origin_everywhere(self, server: WebServer) -> None:
+        """Make an origin reachable through every deployed relay."""
+        for proxy in self._proxies.values():
+            proxy.register_origin(server)
+
+    @property
+    def names(self) -> List[str]:
+        """Names of all deployed relays, in deployment order (the full set)."""
+        return list(self._proxies)
+
+    def __len__(self) -> int:
+        return len(self._proxies)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._proxies
+
+    def __iter__(self) -> Iterable[RelayProxy]:  # pragma: no cover - thin
+        return iter(self._proxies.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelayRegistry({self.names})"

@@ -1,0 +1,26 @@
+"""Exception hierarchy for the simulation kernel and its users."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimulationError",
+    "SchedulingError",
+    "SimulationDeadlock",
+    "TransferError",
+]
+
+
+class SimulationError(Exception):
+    """Base class for all simulator-raised errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or with invalid arguments."""
+
+
+class SimulationDeadlock(SimulationError):
+    """`run()` was asked to reach a condition but the event queue drained."""
+
+
+class TransferError(SimulationError):
+    """A transfer could not make progress (e.g. zero-capacity route forever)."""

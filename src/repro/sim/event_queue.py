@@ -1,0 +1,101 @@
+"""A cancellable, deterministically ordered event queue.
+
+Events are ordered by ``(time, sequence_number)``: ties in time are broken by
+insertion order, which makes simulations fully deterministic regardless of
+callback contents.  Cancellation is O(1) via tombstoning (the standard heapq
+idiom); stale entries are skipped lazily on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.errors import SchedulingError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.  Do not construct directly; use ``EventQueue.push``."""
+
+    time: float
+    seq: int
+    callback: Callable[[], Any]
+    name: str = ""
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when reached."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True if the event has not been cancelled."""
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        label = self.name or self.callback.__name__
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {label}, {state})"
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` with stable ordering."""
+
+    __slots__ = ("_heap", "_counter", "_len_active")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._len_active = 0
+
+    def push(self, time: float, callback: Callable[[], Any], *, name: str = "") -> Event:
+        """Schedule ``callback`` at ``time`` and return its (cancellable) event."""
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        time = float(time)
+        if time != time:  # NaN guard
+            raise SchedulingError("event time must not be NaN")
+        seq = next(self._counter)
+        event = Event(time=time, seq=seq, callback=callback, name=name)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._len_active += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        if not event.cancelled:
+            event.cancel()
+            self._len_active -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest active event, or ``None`` if empty."""
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._len_active -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest active event, or ``None`` if empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        """Number of active (non-cancelled) events."""
+        return self._len_active
+
+    def __bool__(self) -> bool:
+        return self._len_active > 0
+
+    def clear(self) -> None:
+        """Drop all events (including pending cancellations)."""
+        self._heap.clear()
+        self._len_active = 0

@@ -1,0 +1,143 @@
+"""The simulation clock and run loop.
+
+``Simulator`` is a conventional discrete-event kernel: callbacks are scheduled
+at absolute or relative times and executed in ``(time, insertion)`` order.
+Agents (HTTP clients, proxies, the fluid transport engine) hold a reference to
+the simulator and schedule their own continuations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.errors import SchedulingError, SimulationDeadlock
+from repro.sim.event_queue import Event, EventQueue
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule_at(1.0, lambda: seen.append(sim.now))
+    >>> _ = sim.schedule_after(0.5, lambda: seen.append(sim.now))
+    >>> sim.run()
+    >>> seen
+    [0.5, 1.0]
+    """
+
+    __slots__ = ("_queue", "_now", "_processed", "max_events")
+
+    def __init__(self, *, start_time: float = 0.0, max_events: int = 50_000_000):
+        self._queue = EventQueue()
+        self._now = float(start_time)
+        self._processed = 0
+        #: Safety valve against runaway event loops (raises if exceeded).
+        self.max_events = int(max_events)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of scheduled, not-yet-run, not-cancelled events."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any], *, name: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        return self._queue.push(time, callback, name=name)
+
+    def schedule_after(self, delay: float, callback: Callable[[], Any], *, name: str = "") -> Event:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0.0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        return self._queue.push(self._now + delay, callback, name=name)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self._queue.cancel(event)
+
+    def _step(self) -> bool:
+        event = self._queue.pop()
+        if event is None:
+            return False
+        # Clock only moves forward; equal-time events run in insertion order.
+        self._now = event.time
+        self._processed += 1
+        if self._processed > self.max_events:
+            raise SimulationDeadlock(
+                f"exceeded max_events={self.max_events}; "
+                "likely a runaway rescheduling loop"
+            )
+        event.callback()
+        return True
+
+    def run(self, *, until: Optional[float] = None) -> float:
+        """Run until the queue drains, or just past ``until`` if given.
+
+        With ``until`` set, events strictly after ``until`` remain pending and
+        the clock is advanced exactly to ``until``.  Returns the final clock.
+        """
+        if until is None:
+            while self._step():
+                pass
+            return self._now
+        if until < self._now:
+            raise SchedulingError(f"until={until} is before current time {self._now}")
+        while True:
+            t = self._queue.peek_time()
+            if t is None or t > until:
+                self._now = float(until)
+                return self._now
+            self._step()
+
+    def run_until_true(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        limit: Optional[float] = None,
+    ) -> float:
+        """Run until ``predicate()`` holds after some event.
+
+        Raises :class:`SimulationDeadlock` if the queue drains (or ``limit``
+        is passed) before the predicate is satisfied.
+        """
+        if predicate():
+            return self._now
+        while True:
+            t = self._queue.peek_time()
+            if t is None or (limit is not None and t > limit):
+                raise SimulationDeadlock(
+                    "event queue drained (or time limit reached) before the "
+                    "requested condition became true"
+                )
+            self._step()
+            if predicate():
+                return self._now
+
+    def reset(self, *, start_time: float = 0.0) -> None:
+        """Drop all pending events and rewind the clock (for reuse in tests)."""
+        self._queue.clear()
+        self._now = float(start_time)
+        self._processed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.6f}, pending={self.pending_events}, "
+            f"processed={self._processed})"
+        )

@@ -1,0 +1,42 @@
+"""Transport substrate: TCP models, max-min fairness, fluid flow engine."""
+
+from repro.tcp.cross_traffic import CrossTrafficConfig, CrossTrafficSource
+from repro.tcp.flow import FlowState, FluidFlow
+from repro.tcp.fluid import FluidNetwork
+from repro.tcp.maxmin import maxmin_allocate, verify_maxmin
+from repro.tcp.model import (
+    DEFAULT_INITIAL_WINDOW,
+    DEFAULT_MAX_WINDOW,
+    MSS,
+    SlowStartRamp,
+    ideal_transfer_time,
+    pftk_throughput,
+    slow_start_bytes,
+    slow_start_exit_time,
+    slow_start_time_to_bytes,
+    window_limited_rate,
+)
+from repro.tcp.reno import RenoConfig, RenoResult, simulate_reno_transfer
+
+__all__ = [
+    "MSS",
+    "DEFAULT_INITIAL_WINDOW",
+    "DEFAULT_MAX_WINDOW",
+    "SlowStartRamp",
+    "pftk_throughput",
+    "window_limited_rate",
+    "slow_start_bytes",
+    "slow_start_time_to_bytes",
+    "slow_start_exit_time",
+    "ideal_transfer_time",
+    "FlowState",
+    "FluidFlow",
+    "FluidNetwork",
+    "maxmin_allocate",
+    "verify_maxmin",
+    "RenoConfig",
+    "RenoResult",
+    "simulate_reno_transfer",
+    "CrossTrafficConfig",
+    "CrossTrafficSource",
+]

@@ -1,0 +1,172 @@
+"""Max-min fair bandwidth allocation with per-flow rate caps.
+
+Given link capacities, a boolean link-flow incidence matrix and per-flow rate
+ceilings (TCP window / slow-start caps), :func:`maxmin_allocate` computes the
+classic water-filling allocation:
+
+* **feasible** - no link's capacity is exceeded;
+* **cap-respecting** - no flow exceeds its ceiling;
+* **max-min fair** - a flow's rate can only be increased by decreasing the
+  rate of some flow with an already smaller-or-equal rate.
+
+The implementation is the standard progressive-filling loop, vectorised with
+numpy per the HPC guides: each iteration does O(L*F) array work and freezes
+at least one flow, so the loop runs at most F times.  For this study F is
+tens at most (concurrent probes plus the bulk transfers), so allocation cost
+is negligible next to event handling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["maxmin_allocate", "verify_maxmin"]
+
+#: Relative slack used when comparing rates/capacities.
+_EPS = 1e-9
+
+
+def maxmin_allocate(
+    capacities: np.ndarray,
+    incidence: np.ndarray,
+    caps: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Compute max-min fair rates.
+
+    Parameters
+    ----------
+    capacities:
+        Shape ``(L,)`` link capacities (bytes/second), non-negative.
+    incidence:
+        Shape ``(L, F)`` boolean; ``incidence[l, f]`` is True when flow ``f``
+        traverses link ``l``.  Every flow must traverse at least one link.
+    caps:
+        Optional shape ``(F,)`` per-flow ceilings; ``inf`` means uncapped.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(F,)`` allocated rates.
+    """
+    c = np.asarray(capacities, dtype=np.float64)
+    a = np.asarray(incidence, dtype=bool)
+    if a.ndim != 2:
+        raise ValueError(f"incidence must be 2-D, got shape {a.shape}")
+    n_links, n_flows = a.shape
+    if c.shape != (n_links,):
+        raise ValueError(
+            f"capacities shape {c.shape} does not match incidence rows {n_links}"
+        )
+    if np.any(c < 0.0):
+        raise ValueError("capacities must be non-negative")
+    if n_flows == 0:
+        return np.zeros(0)
+    if not np.all(a.any(axis=0)):
+        raise ValueError("every flow must traverse at least one link")
+    if n_flows == 1:
+        # Fast path: a lone flow simply gets its bottleneck (profiling shows
+        # this is the dominant allocator call during sequential probing and
+        # uncontended bulk transfers).
+        rate = float(np.min(c[a[:, 0]]))
+        if caps is not None:
+            cap0 = float(np.asarray(caps, dtype=np.float64).reshape(-1)[0])
+            if cap0 < 0.0:
+                raise ValueError("caps must be non-negative")
+            rate = min(rate, cap0)
+        return np.array([rate])
+    if caps is None:
+        caps_arr = np.full(n_flows, np.inf)
+    else:
+        caps_arr = np.asarray(caps, dtype=np.float64)
+        if caps_arr.shape != (n_flows,):
+            raise ValueError(f"caps shape {caps_arr.shape} != ({n_flows},)")
+        if np.any(caps_arr < 0.0):
+            raise ValueError("caps must be non-negative")
+
+    rates = np.zeros(n_flows)
+    frozen = np.zeros(n_flows, dtype=bool)
+    remaining = c.copy()
+
+    # Freeze zero-cap flows immediately.
+    zero_cap = caps_arr <= 0.0
+    frozen[zero_cap] = True
+
+    while not frozen.all():
+        active = ~frozen
+        counts = a @ active.astype(np.float64)  # unfrozen flows per link
+        used = counts > 0.0
+        if not used.any():
+            break
+        # Equal-share water level each congested link could still grant.
+        shares = np.full(n_links, np.inf)
+        np.divide(remaining, counts, out=shares, where=used)
+        link_level = float(shares[used].min())
+        cap_level = float(caps_arr[active].min())
+        level = min(link_level, cap_level)
+
+        if cap_level <= link_level * (1.0 + _EPS):
+            # Some flows hit their private ceiling first: freeze them at cap.
+            hit = active & (caps_arr <= level * (1.0 + _EPS))
+            rates[hit] = caps_arr[hit]
+            remaining -= a[:, hit] @ caps_arr[hit]
+            frozen[hit] = True
+        else:
+            # Some link saturates: freeze all unfrozen flows crossing it.
+            saturated = used & (shares <= level * (1.0 + _EPS))
+            hit = active & (a[saturated, :].any(axis=0))
+            rates[hit] = level
+            remaining -= (a[:, hit].sum(axis=1)) * level
+            frozen[hit] = True
+        np.clip(remaining, 0.0, None, out=remaining)
+
+    return rates
+
+
+def verify_maxmin(
+    capacities: np.ndarray,
+    incidence: np.ndarray,
+    rates: np.ndarray,
+    caps: Optional[np.ndarray] = None,
+    *,
+    rtol: float = 1e-6,
+) -> bool:
+    """Check feasibility, cap-respect and max-min optimality of ``rates``.
+
+    A rate vector is max-min fair iff every flow is *saturated*: it either
+    sits at its cap, or crosses at least one bottleneck link - a link that is
+    full and on which this flow has the maximal rate.  Used by tests and the
+    property-based suite.
+    """
+    c = np.asarray(capacities, dtype=np.float64)
+    a = np.asarray(incidence, dtype=bool)
+    r = np.asarray(rates, dtype=np.float64)
+    n_links, n_flows = a.shape
+    caps_arr = np.full(n_flows, np.inf) if caps is None else np.asarray(caps, dtype=np.float64)
+
+    if np.any(r < -rtol):
+        return False
+    load = a @ r
+    scale = np.maximum(c, 1.0)
+    if np.any(load > c + rtol * scale):
+        return False  # infeasible
+    if np.any(r > caps_arr * (1.0 + rtol) + rtol):
+        return False  # cap violated
+
+    for f in range(n_flows):
+        if caps_arr[f] <= r[f] * (1.0 + rtol) + rtol:
+            continue  # saturated at its cap
+        links_f = np.flatnonzero(a[:, f])
+        bottlenecked = False
+        for l in links_f:
+            full = load[l] >= c[l] - rtol * scale[l]
+            if not full:
+                continue
+            others = a[l, :]
+            if r[f] >= np.max(r[others]) - rtol * max(r[f], 1.0):
+                bottlenecked = True
+                break
+        if not bottlenecked:
+            return False
+    return True

@@ -1,0 +1,227 @@
+"""Analytic TCP throughput models.
+
+Two classical results are used across the library:
+
+* the **PFTK** steady-state throughput formula (Padhye et al.) relating rate
+  to RTT and loss probability - used to sanity-check calibrated link
+  capacities against plausible 2005-era TCP behaviour;
+* the **slow-start ramp**: an idealised TCP connection delivers
+  ``cwnd0 * (2^k - 1)`` bytes in its first ``k`` round-trips, so measuring
+  throughput over too small an initial range is dominated by slow-start.
+  This is exactly why the paper probes with ``x = 100 KB``: the probe must
+  outlast slow-start to predict steady-state throughput.
+
+All rates are bytes/second, times seconds, sizes bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive, check_probability
+
+__all__ = [
+    "MSS",
+    "DEFAULT_INITIAL_WINDOW",
+    "DEFAULT_MAX_WINDOW",
+    "pftk_throughput",
+    "window_limited_rate",
+    "slow_start_bytes",
+    "slow_start_time_to_bytes",
+    "slow_start_exit_time",
+    "ideal_transfer_time",
+    "SlowStartRamp",
+]
+
+#: TCP maximum segment size in bytes (Ethernet-typical).
+MSS: float = 1460.0
+
+#: Initial congestion window in bytes (2 segments, RFC 3390-era).
+DEFAULT_INITIAL_WINDOW: float = 2.0 * MSS
+
+#: Default maximum window in bytes (64 KB classic receive window).
+DEFAULT_MAX_WINDOW: float = 65_536.0
+
+
+def pftk_throughput(rtt: float, loss: float, *, mss: float = MSS, rto: float = 1.0) -> float:
+    """PFTK steady-state TCP throughput estimate in bytes/second.
+
+    Implements the full formula from Padhye, Firoiu, Towsley and Kurose,
+    "Modeling TCP Throughput: A Simple Model and its Empirical Validation"
+    (SIGCOMM 1998), with the timeout term.  ``loss`` is the packet loss
+    probability; the result is capped at the window-free limit for loss -> 0
+    by returning ``inf`` when ``loss == 0``.
+    """
+    check_positive(rtt, "rtt")
+    check_probability(loss, "loss")
+    check_positive(mss, "mss")
+    check_positive(rto, "rto")
+    if loss == 0.0:
+        return float("inf")
+    p = loss
+    term = rtt * math.sqrt(2.0 * p / 3.0) + rto * min(
+        1.0, 3.0 * math.sqrt(3.0 * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    return mss / term
+
+
+def window_limited_rate(max_window: float, rtt: float) -> float:
+    """Maximum achievable rate ``W_max / RTT`` in bytes/second."""
+    check_positive(rtt, "rtt")
+    check_non_negative(max_window, "max_window")
+    return max_window / rtt
+
+
+def slow_start_bytes(rounds: int, *, initial_window: float = DEFAULT_INITIAL_WINDOW) -> float:
+    """Bytes delivered after ``rounds`` complete slow-start round-trips.
+
+    Window doubles each RTT: total = w0 * (2^rounds - 1).
+    """
+    if rounds < 0:
+        raise ValueError(f"rounds must be >= 0, got {rounds}")
+    check_positive(initial_window, "initial_window")
+    return initial_window * (2.0**rounds - 1.0)
+
+
+def slow_start_time_to_bytes(
+    size: float,
+    rtt: float,
+    *,
+    initial_window: float = DEFAULT_INITIAL_WINDOW,
+) -> float:
+    """Time for unconstrained slow start to deliver ``size`` bytes.
+
+    Assumes window doubling every RTT with no capacity ceiling; the answer is
+    ``ceil(log2(size/w0 + 1))`` round trips, linearly interpolated within the
+    final round (fluid view).
+    """
+    check_non_negative(size, "size")
+    check_positive(rtt, "rtt")
+    check_positive(initial_window, "initial_window")
+    if size == 0.0:
+        return 0.0
+    delivered = 0.0
+    window = initial_window
+    t = 0.0
+    while delivered + window < size:
+        delivered += window
+        window *= 2.0
+        t += rtt
+    # Fraction of the final round needed.
+    return t + rtt * (size - delivered) / window
+
+
+def slow_start_exit_time(
+    target_rate: float,
+    rtt: float,
+    *,
+    initial_window: float = DEFAULT_INITIAL_WINDOW,
+) -> float:
+    """Time until the doubling ramp first reaches ``target_rate``.
+
+    The ramp's rate during round k is ``w0 * 2^k / rtt``; the exit time is
+    the start of the first round whose rate meets the target.
+    """
+    check_positive(rtt, "rtt")
+    check_positive(initial_window, "initial_window")
+    check_non_negative(target_rate, "target_rate")
+    base_rate = initial_window / rtt
+    if target_rate <= base_rate:
+        return 0.0
+    rounds = math.ceil(math.log2(target_rate / base_rate))
+    return rounds * rtt
+
+
+def ideal_transfer_time(
+    size: float,
+    capacity: float,
+    rtt: float,
+    *,
+    initial_window: float = DEFAULT_INITIAL_WINDOW,
+    max_window: float = float("inf"),
+) -> float:
+    """Transfer time under slow start followed by capacity-limited delivery.
+
+    A fluid idealisation: rate ramps as ``w0 * 2^k / rtt`` per round until it
+    reaches ``min(capacity, max_window / rtt)``, then stays there.  This is
+    the closed-form counterpart of the simulator's per-flow rate cap and is
+    used in tests to validate the engine on a single uncontended link.
+    """
+    check_non_negative(size, "size")
+    check_positive(capacity, "capacity")
+    check_positive(rtt, "rtt")
+    if size == 0.0:
+        return 0.0
+    ceiling = min(capacity, max_window / rtt if max_window != float("inf") else float("inf"))
+    if ceiling <= 0.0:
+        raise ValueError("effective rate ceiling must be positive")
+    t = 0.0
+    delivered = 0.0
+    rate = initial_window / rtt
+    while rate < ceiling:
+        step_bytes = rate * rtt
+        if delivered + step_bytes >= size:
+            return t + (size - delivered) / rate
+        delivered += step_bytes
+        t += rtt
+        rate *= 2.0
+    return t + (size - delivered) / ceiling
+
+
+@dataclass(frozen=True)
+class SlowStartRamp:
+    """A per-flow rate-cap schedule implementing the doubling ramp.
+
+    The cap during round ``k`` (rounds last one RTT, starting when the flow
+    activates) is ``min(w0 * 2^k, W_max) / RTT``.  The fluid engine treats
+    this as a private per-flow ceiling on top of max-min fair sharing.
+    """
+
+    rtt: float
+    initial_window: float = DEFAULT_INITIAL_WINDOW
+    max_window: float = DEFAULT_MAX_WINDOW
+
+    def __post_init__(self) -> None:
+        check_positive(self.rtt, "rtt")
+        check_positive(self.initial_window, "initial_window")
+        check_positive(self.max_window, "max_window")
+        if self.max_window < self.initial_window:
+            raise ValueError("max_window must be >= initial_window")
+
+    @property
+    def peak_rate(self) -> float:
+        """The window-limited ceiling ``W_max / RTT``."""
+        return self.max_window / self.rtt
+
+    # Relative slack when mapping elapsed time to a doubling round: event
+    # times accumulate float error, so an elapsed value one ulp short of a
+    # round boundary must count as *in* that round, or the engine would
+    # schedule a zero-length wait and stall the clock.
+    _ROUND_EPS = 1e-9
+
+    def _round_of(self, elapsed: float) -> int:
+        return int(math.floor(elapsed / self.rtt + self._ROUND_EPS))
+
+    def cap_at(self, elapsed: float) -> float:
+        """Rate cap (bytes/second) a time ``elapsed`` after activation."""
+        if elapsed < 0.0:
+            return 0.0
+        # Clamp the exponent: past rounds_to_peak the window is max_window
+        # anyway, and 2.0**k overflows for very long-lived flows.
+        k = min(self._round_of(elapsed), self.rounds_to_peak())
+        window = self.initial_window * (2.0**k)
+        return min(window, self.max_window) / self.rtt
+
+    def next_increase_after(self, elapsed: float) -> float:
+        """Elapsed time of the next cap increase, or ``inf`` when capped out."""
+        if elapsed < 0.0:
+            return 0.0
+        k = self._round_of(elapsed) + 1
+        if k > self.rounds_to_peak():
+            return float("inf")
+        return k * self.rtt
+
+    def rounds_to_peak(self) -> int:
+        """Number of doubling rounds until the window cap is reached."""
+        return int(math.ceil(math.log2(self.max_window / self.initial_window)))

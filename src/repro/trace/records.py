@@ -1,0 +1,123 @@
+"""Measurement records: one row per paired (control, selecting) transfer.
+
+A :class:`TransferRecord` captures everything the paper's analysis needs
+about one experiment repetition: what was offered, what was chosen, and the
+throughputs both clients observed.  Records are plain data - the analysis
+layer derives improvements, penalties and utilisations from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One paired measurement.
+
+    Attributes
+    ----------
+    study:
+        Study identifier, e.g. ``"section2"`` or ``"section4"``.
+    client / site:
+        The endpoints.
+    repetition:
+        Repetition index within the study schedule.
+    start_time:
+        Simulation time the pair started (seconds).
+    set_size:
+        Size of the offered relay set (0 for control-style schedules).
+    offered:
+        Relay names offered to the selector for this transfer.
+    selected_via:
+        The winning relay, or ``None`` when the direct path was selected.
+    direct_throughput:
+        The control client's full-file throughput (bytes/second).
+    selected_throughput:
+        The selecting client's bulk-phase throughput (bytes/second) - the
+        paper's "throughput of the selected path".
+    end_to_end_throughput:
+        The selecting client's whole-session throughput including the probe
+        phase (bytes/second).
+    probe_overhead:
+        Seconds spent in the probe phase.
+    file_bytes:
+        Transfer size.
+    direct_class / direct_variability:
+        The client's ground-truth profile (for Table I filtering).
+    """
+
+    study: str
+    client: str
+    site: str
+    repetition: int
+    start_time: float
+    set_size: int
+    offered: Tuple[str, ...]
+    selected_via: Optional[str]
+    direct_throughput: float
+    selected_throughput: float
+    end_to_end_throughput: float
+    probe_overhead: float
+    file_bytes: float
+    direct_class: str = ""
+    direct_variability: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direct_throughput <= 0.0:
+            raise ValueError("direct_throughput must be positive")
+        if self.selected_throughput <= 0.0:
+            raise ValueError("selected_throughput must be positive")
+        if self.selected_via is not None and self.selected_via not in self.offered:
+            raise ValueError(
+                f"selected relay {self.selected_via!r} not in offered set {self.offered}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def used_indirect(self) -> bool:
+        """True when the indirect path carried the bulk transfer."""
+        return self.selected_via is not None
+
+    @property
+    def improvement(self) -> float:
+        """The paper's improvement ratio: (selected - direct) / direct."""
+        return (self.selected_throughput - self.direct_throughput) / self.direct_throughput
+
+    @property
+    def improvement_percent(self) -> float:
+        """Improvement expressed in percent."""
+        return 100.0 * self.improvement
+
+    @property
+    def is_penalty(self) -> bool:
+        """True when selecting the indirect path lost to the direct path."""
+        return self.used_indirect and self.selected_throughput < self.direct_throughput
+
+    @property
+    def penalty_percent(self) -> float:
+        """Penalty magnitude: the direct path's advantage relative to the
+        *selected* path, in percent (see DESIGN.md §5 on why the paper's
+        >100% penalties force this definition).  0 when not a penalty."""
+        if not self.is_penalty:
+            return 0.0
+        return 100.0 * (
+            (self.direct_throughput - self.selected_throughput) / self.selected_throughput
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to plain JSON-compatible types."""
+        d = asdict(self)
+        d["offered"] = list(self.offered)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "TransferRecord":
+        """Inverse of :meth:`to_dict`."""
+        d = dict(d)
+        d["offered"] = tuple(d["offered"])
+        return cls(**d)

@@ -1,0 +1,123 @@
+"""Plain-text rendering of tables and simple charts.
+
+The benchmark harness regenerates every table and figure of the paper as
+terminal output.  These renderers keep that output aligned, diff-friendly and
+free of third-party plotting dependencies (matplotlib is not available in
+this environment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_histogram", "render_series", "render_kv"]
+
+
+def _fmt_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        if np.isnan(value):
+            return "-"
+        return format(float(value), float_fmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = ".1f",
+) -> str:
+    """Render an aligned ASCII table.
+
+    ``rows`` may contain ints, floats (formatted with ``float_fmt``; NaN is
+    shown as ``-``) and strings.  Column widths are computed from content.
+    """
+    str_rows: List[List[str]] = [
+        [_fmt_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but table has {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for r in str_rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def render_histogram(
+    percentages: Sequence[float],
+    edges: Sequence[float],
+    *,
+    title: Optional[str] = None,
+    width: int = 50,
+    label_fmt: str = ".0f",
+) -> str:
+    """Render a horizontal bar histogram (one bin per line).
+
+    ``percentages`` has one entry per bin; ``edges`` has ``len+1`` entries.
+    """
+    pct = np.asarray(percentages, dtype=np.float64)
+    edg = np.asarray(edges, dtype=np.float64)
+    if edg.size != pct.size + 1:
+        raise ValueError("edges must have exactly one more element than percentages")
+    peak = float(np.max(pct)) if pct.size and np.max(pct) > 0 else 1.0
+    out: List[str] = []
+    if title:
+        out.append(title)
+    labels = [
+        f"[{format(edg[i], label_fmt)}, {format(edg[i + 1], label_fmt)})"
+        for i in range(pct.size)
+    ]
+    lab_w = max((len(x) for x in labels), default=0)
+    for label, p in zip(labels, pct):
+        bar = "#" * int(round(width * p / peak))
+        out.append(f"{label.rjust(lab_w)} {p:6.2f}% |{bar}")
+    return "\n".join(out)
+
+
+def render_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    x_name: str = "x",
+    y_name: str = "y",
+    title: Optional[str] = None,
+    float_fmt: str = ".2f",
+) -> str:
+    """Render an (x, y) series as a two-column table (a "figure" in text)."""
+    xs = list(x)
+    ys = list(y)
+    if len(xs) != len(ys):
+        raise ValueError("x and y must have the same length")
+    return render_table([x_name, y_name], zip(xs, ys), title=title, float_fmt=float_fmt)
+
+
+def render_kv(pairs: Sequence[tuple], *, title: Optional[str] = None, float_fmt: str = ".2f") -> str:
+    """Render key/value pairs, one per line, keys left-aligned."""
+    out: List[str] = []
+    if title:
+        out.append(title)
+    key_w = max((len(str(k)) for k, _ in pairs), default=0)
+    for k, v in pairs:
+        out.append(f"{str(k).ljust(key_w)} : {_fmt_cell(v, float_fmt)}")
+    return "\n".join(out)

@@ -1,0 +1,87 @@
+"""Unit conventions and conversions used throughout the library.
+
+Internal conventions
+--------------------
+* **Time** is measured in seconds (float).
+* **Data sizes** are measured in bytes (float; fractional bytes are fine in
+  the fluid model).
+* **Rates** are measured in bytes per second internally.  The paper reports
+  throughput in megabits per second (Mbps), so converters are provided and
+  all user-facing statistics use Mbps.
+
+The module deliberately exposes plain floats and free functions rather than a
+unit-wrapper class: the simulator's hot paths operate on numpy arrays of
+rates and byte counts, and wrapper objects would defeat vectorisation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "BITS_PER_BYTE",
+    "mbps_to_bytes_per_s",
+    "bytes_per_s_to_mbps",
+    "kb",
+    "mb",
+    "seconds_to_transfer",
+    "MINUTE",
+    "HOUR",
+]
+
+#: Bytes in a kilobyte (decimal, as in the paper's "100KB").
+KB: float = 1_000.0
+#: Bytes in a megabyte (decimal, as in the paper's "2 MB" files).
+MB: float = 1_000_000.0
+#: Bytes in a gigabyte.
+GB: float = 1_000_000_000.0
+
+BITS_PER_BYTE: float = 8.0
+
+#: Seconds in a minute / hour, for readable workload definitions.
+MINUTE: float = 60.0
+HOUR: float = 3_600.0
+
+
+def mbps_to_bytes_per_s(mbps: float) -> float:
+    """Convert a rate in megabits/second to bytes/second.
+
+    >>> mbps_to_bytes_per_s(8.0)
+    1000000.0
+    """
+    return float(mbps) * 1e6 / BITS_PER_BYTE
+
+
+def bytes_per_s_to_mbps(rate: float) -> float:
+    """Convert a rate in bytes/second to megabits/second.
+
+    Accepts numpy arrays as well as scalars (pure arithmetic).
+    """
+    return rate * (BITS_PER_BYTE / 1e6)
+
+
+def kb(n: float) -> float:
+    """``n`` kilobytes expressed in bytes."""
+    return float(n) * KB
+
+
+def mb(n: float) -> float:
+    """``n`` megabytes expressed in bytes."""
+    return float(n) * MB
+
+
+def seconds_to_transfer(size_bytes: float, rate_bytes_per_s: float) -> float:
+    """Time to move ``size_bytes`` at a constant ``rate_bytes_per_s``.
+
+    Raises :class:`ValueError` for a non-positive rate with a positive size,
+    because the fluid engine must never divide by a zero rate silently.
+    """
+    if size_bytes <= 0.0:
+        return 0.0
+    if rate_bytes_per_s <= 0.0:
+        raise ValueError(
+            f"cannot transfer {size_bytes} bytes at non-positive rate "
+            f"{rate_bytes_per_s}"
+        )
+    return size_bytes / rate_bytes_per_s

@@ -1,0 +1,88 @@
+"""Client throughput classes and variability profiles.
+
+The paper buckets client nodes by measured average direct-path throughput -
+Low (0-1.5 Mbps), Medium (1.5-3.0 Mbps), High (> 3.0 Mbps) - and further by
+how *variable* that throughput is.  Both dimensions drive its penalty
+analysis (Table I): penalties concentrate on High-throughput and
+high-variability clients.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.util.units import mbps_to_bytes_per_s
+
+__all__ = ["ThroughputClass", "Variability", "ClientProfile"]
+
+
+class ThroughputClass(enum.Enum):
+    """The paper's direct-path throughput categories."""
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    @classmethod
+    def classify(cls, throughput_bytes_per_s: float) -> "ThroughputClass":
+        """Bucket an average direct-path throughput (bytes/second)."""
+        if throughput_bytes_per_s < 0.0:
+            raise ValueError(f"throughput must be >= 0, got {throughput_bytes_per_s}")
+        if throughput_bytes_per_s < mbps_to_bytes_per_s(1.5):
+            return cls.LOW
+        if throughput_bytes_per_s < mbps_to_bytes_per_s(3.0):
+            return cls.MEDIUM
+        return cls.HIGH
+
+    @property
+    def order(self) -> int:
+        """Sortable rank: LOW < MEDIUM < HIGH."""
+        return {"low": 0, "medium": 1, "high": 2}[self.value]
+
+
+class Variability(enum.Enum):
+    """Coarse direct-path throughput variability level."""
+
+    LOW = "low"
+    HIGH = "high"
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """The generative ground truth assigned to one client at scenario build.
+
+    Attributes
+    ----------
+    name:
+        Client node name.
+    throughput_class:
+        Intended direct-path class (the *measured* class can drift slightly
+        because throughput emerges from the simulation).
+    variability:
+        Direct-path variability level; high variability means large
+        Markov-modulation swings.
+    direct_base:
+        Base direct WAN capacity in bytes/second (before modulation).
+    access_capacity:
+        The client's access-pipe capacity in bytes/second (shared by direct
+        and indirect paths).
+    overlay_scale:
+        Multiplier relating this client's overlay-hop quality to its direct
+        base (captures how much headroom indirect paths have).
+    """
+
+    name: str
+    throughput_class: ThroughputClass
+    variability: Variability
+    direct_base: float
+    access_capacity: float
+    overlay_scale: float
+
+    def __post_init__(self) -> None:
+        if self.direct_base <= 0.0:
+            raise ValueError("direct_base must be positive")
+        if self.access_capacity <= 0.0:
+            raise ValueError("access_capacity must be positive")
+        if self.overlay_scale <= 0.0:
+            raise ValueError("overlay_scale must be positive")

@@ -1,0 +1,117 @@
+"""Calibration sensitivity analysis.
+
+The reproduction's absolute numbers come from a calibrated generative model
+(:class:`~repro.workloads.calibration.CalibrationParams`).  A fair question
+is whether the *conclusions* depend on the calibration point.  This module
+runs the same §2-style campaign slice across perturbed parameter sets and
+summarises the headline statistics of each, so the robustness of the
+qualitative story (substantial utilisation, solidly positive conditional
+improvement, small penalty tail) can be asserted mechanically - ablation
+bench A12.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.calibration import CalibrationParams
+from repro.workloads.experiment import Section2Study
+from repro.workloads.scenario import Scenario, ScenarioSpec
+
+__all__ = ["SensitivityPoint", "default_variants", "calibration_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Headline statistics for one calibration variant."""
+
+    label: str
+    n_transfers: int
+    utilization: float
+    positive_given_indirect: float
+    mean_improvement: float
+    median_improvement: float
+    penalty_fraction: float
+
+    @property
+    def conclusion_holds(self) -> bool:
+        """The paper's qualitative story at this calibration point:
+        meaningful utilisation, mostly-positive selections, positive mean."""
+        return (
+            self.utilization >= 0.15
+            and self.positive_given_indirect >= 0.7
+            and self.mean_improvement > 0.0
+        )
+
+
+def default_variants(
+    base: Optional[CalibrationParams] = None,
+) -> Dict[str, CalibrationParams]:
+    """Perturbations of the calibrated point along its main axes."""
+    base = base or CalibrationParams()
+    lo, mid, hi = base.overlay_scale_medians
+    return {
+        "calibrated": base,
+        "overlay -15%": dataclasses.replace(
+            base, overlay_scale_medians=(0.85 * lo, 0.85 * mid, 0.85 * hi)
+        ),
+        "overlay +15%": dataclasses.replace(
+            base, overlay_scale_medians=(1.15 * lo, 1.15 * mid, 1.15 * hi)
+        ),
+        "relays more alike": dataclasses.replace(base, relay_quality_sigma=0.09),
+        "relays more diverse": dataclasses.replace(base, relay_quality_sigma=0.30),
+        "slower dynamics": dataclasses.replace(
+            base,
+            high_var_holding=tuple(2.0 * h for h in base.high_var_holding),
+            low_var_holding=tuple(2.0 * h for h in base.low_var_holding),
+        ),
+        "faster dynamics": dataclasses.replace(
+            base,
+            high_var_holding=tuple(0.5 * h for h in base.high_var_holding),
+            low_var_holding=tuple(0.5 * h for h in base.low_var_holding),
+        ),
+    }
+
+
+def calibration_sensitivity(
+    variants: Dict[str, CalibrationParams],
+    *,
+    seed: int = 2007,
+    clients: Optional[Sequence[str]] = None,
+    repetitions: int = 12,
+) -> List[SensitivityPoint]:
+    """Run the campaign slice under each variant; return one point each."""
+    points: List[SensitivityPoint] = []
+    for label, params in variants.items():
+        spec = ScenarioSpec.section2(sites=("eBay",), params=params)
+        scenario = Scenario.build(spec, seed=seed)
+        study = Section2Study(scenario, repetitions=repetitions)
+        store = study.run(sites=["eBay"], clients=list(clients) if clients else None)
+
+        imps = store.column("improvement_percent")
+        indirect = store.column("used_indirect")
+        chosen = imps[indirect] if indirect.any() else np.array([])
+        points.append(
+            SensitivityPoint(
+                label=label,
+                n_transfers=len(store),
+                utilization=float(np.mean(indirect)),
+                positive_given_indirect=(
+                    float(np.mean(chosen > 0)) if chosen.size else float("nan")
+                ),
+                mean_improvement=(
+                    float(np.mean(chosen)) if chosen.size else float("nan")
+                ),
+                median_improvement=(
+                    float(np.median(chosen)) if chosen.size else float("nan")
+                ),
+                penalty_fraction=(
+                    float(np.mean(chosen < 0)) if chosen.size else float("nan")
+                ),
+            )
+        )
+    return points

@@ -1,0 +1,139 @@
+"""Fig. 4 time-series and Fig. 6 random-set analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.random_set import (
+    RandomSetCurve,
+    random_set_curves,
+    saturation_point,
+)
+from repro.analysis.timeseries import indirect_throughput_series
+from repro.trace.records import TransferRecord
+from repro.trace.store import TraceStore
+from repro.util.units import mbps_to_bytes_per_s
+
+
+def rec(client="A", t=0.0, selected_mbps=1.5, via="R", k=1, direct_mbps=1.0):
+    return TransferRecord(
+        study="t",
+        client=client,
+        site="eBay",
+        repetition=int(t),
+        start_time=t,
+        set_size=k,
+        offered=(via,) if via else (),
+        selected_via=via,
+        direct_throughput=mbps_to_bytes_per_s(direct_mbps),
+        selected_throughput=mbps_to_bytes_per_s(selected_mbps),
+        end_to_end_throughput=mbps_to_bytes_per_s(selected_mbps),
+        probe_overhead=0.0,
+        file_bytes=1e6,
+    )
+
+
+class TestIndirectSeries:
+    def test_series_only_indirect_rows(self):
+        s = TraceStore(
+            [rec(t=0.0), rec(t=1.0, via=None), rec(t=2.0, selected_mbps=2.0)]
+        )
+        series = indirect_throughput_series(s)["A"]
+        assert series.n_points == 2
+        assert series.throughput_mbps.tolist() == [1.5, 2.0]
+
+    def test_series_sorted_by_time(self):
+        s = TraceStore([rec(t=5.0, selected_mbps=2.0), rec(t=1.0, selected_mbps=1.0)])
+        series = indirect_throughput_series(s)["A"]
+        assert series.times.tolist() == [1.0, 5.0]
+        assert series.throughput_mbps.tolist() == [1.0, 2.0]
+
+    def test_stable_series_has_no_trend(self):
+        # Seed chosen for a clearly trendless draw (any fixed seed risks a
+        # ~5% false positive at alpha=0.05; seed 4 gives p~0.96).
+        rng = np.random.default_rng(4)
+        rows = [
+            rec(t=float(i), selected_mbps=1.5 + 0.05 * rng.standard_normal())
+            for i in range(50)
+        ]
+        series = indirect_throughput_series(TraceStore(rows))["A"]
+        assert not series.has_trend
+
+    def test_trending_series_detected(self):
+        rows = [rec(t=float(i), selected_mbps=1.0 + 0.1 * i) for i in range(30)]
+        series = indirect_throughput_series(TraceStore(rows))["A"]
+        assert series.trend.trend == "increasing"
+
+    def test_jump_count(self):
+        vals = [1.0] * 10 + [3.0] * 10
+        rows = [rec(t=float(i), selected_mbps=v) for i, v in enumerate(vals)]
+        series = indirect_throughput_series(TraceStore(rows))["A"]
+        assert series.jump_count == 1
+
+    def test_requested_clients(self):
+        s = TraceStore([rec(client="A")])
+        series = indirect_throughput_series(s, clients=["A", "B"])
+        assert series["B"].n_points == 0
+
+    def test_campaign_mostly_trendless(self, section2_store):
+        """Paper Fig. 4: indirect throughput shows no discernible trend."""
+        series = indirect_throughput_series(section2_store)
+        tested = [s for s in series.values() if s.n_points >= 8]
+        assert tested, "campaign should have clients with enough indirect points"
+        trendless = sum(not s.has_trend for s in tested)
+        assert trendless >= 0.7 * len(tested)
+
+
+class TestRandomSetCurves:
+    def build(self):
+        rows = []
+        means = {1: 10.0, 4: 30.0, 10: 42.0, 35: 44.0}
+        for k, imp in means.items():
+            sel = 1.0 * (1 + imp / 100.0)
+            rows.extend(
+                rec(t=float(i), k=k, selected_mbps=sel) for i in range(5)
+            )
+        return TraceStore(rows)
+
+    def test_curve_values(self):
+        curve = random_set_curves(self.build())["A"]
+        assert curve.set_sizes.tolist() == [1, 4, 10, 35]
+        assert curve.value_at(4) == pytest.approx(30.0)
+        assert curve.n_per_point.tolist() == [5, 5, 5, 5]
+
+    def test_value_at_missing_k(self):
+        curve = random_set_curves(self.build())["A"]
+        with pytest.raises(KeyError):
+            curve.value_at(7)
+
+    def test_saturation_point(self):
+        curve = random_set_curves(self.build())["A"]
+        # 90% of max (44) = 39.6 -> first reached at k=10.
+        assert saturation_point(curve) == 10
+
+    def test_saturation_fraction_validated(self):
+        curve = random_set_curves(self.build())["A"]
+        with pytest.raises(ValueError):
+            saturation_point(curve, fraction=0.0)
+
+    def test_saturation_nonpositive_curve(self):
+        rows = [rec(t=float(i), k=k, selected_mbps=0.9) for k in (1, 5) for i in range(3)]
+        curve = random_set_curves(TraceStore(rows))["A"]
+        assert saturation_point(curve) == 1
+
+    def test_empty_curve_raises(self):
+        curve = RandomSetCurve(
+            client="X",
+            set_sizes=np.array([], dtype=np.intp),
+            mean_improvement_percent=np.array([]),
+            n_per_point=np.array([], dtype=np.intp),
+        )
+        with pytest.raises(ValueError):
+            saturation_point(curve)
+
+    def test_campaign_curves_rise(self, section4_store):
+        """Paper Fig. 6: more candidates never hurt much; small k suffices."""
+        curves = random_set_curves(section4_store)
+        for client, curve in curves.items():
+            first = curve.value_at(int(curve.set_sizes[0]))
+            best = float(np.nanmax(curve.mean_improvement_percent))
+            assert best >= first - 5.0  # rising-or-flat within noise

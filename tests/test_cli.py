@@ -1,0 +1,169 @@
+"""CLI tests: argument handling, campaign runs, artefact rendering."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_section2_defaults(self):
+        args = build_parser().parse_args(["section2", "--out", "x.jsonl"])
+        assert args.reps == 30
+        assert args.sites == "eBay"
+
+    def test_report_artifact_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "s.jsonl", "--artifact", "fig99"])
+
+
+class TestCatalog:
+    def test_prints_tables(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out and "Table V" in out
+        assert "planetlab1.polito.it" in out
+        assert "extrapolated" in out
+
+
+class TestSection2Command:
+    def test_small_run_writes_store(self, tmp_path, capsys):
+        out = tmp_path / "s2.jsonl"
+        rc = main(
+            [
+                "section2",
+                "--reps",
+                "2",
+                "--clients",
+                "Italy,Sweden",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        from repro.trace.store import TraceStore
+
+        store = TraceStore.load_jsonl(out)
+        assert len(store) == 4
+        assert set(store.unique("client")) == {"Italy", "Sweden"}
+
+    def test_unknown_site_rejected(self, tmp_path, capsys):
+        rc = main(
+            ["section2", "--sites", "AltaVista", "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert rc == 2
+        assert "unknown sites" in capsys.readouterr().err
+
+    def test_unknown_client_rejected(self, tmp_path, capsys):
+        rc = main(
+            [
+                "section2",
+                "--clients",
+                "Atlantis",
+                "--out",
+                str(tmp_path / "x.jsonl"),
+            ]
+        )
+        assert rc == 2
+
+
+class TestSection4Command:
+    def test_small_sweep(self, tmp_path):
+        out = tmp_path / "s4.jsonl"
+        rc = main(
+            ["section4", "--reps", "2", "--set-sizes", "1,3", "--out", str(out)]
+        )
+        assert rc == 0
+        from repro.trace.store import TraceStore
+
+        store = TraceStore.load_jsonl(out)
+        assert len(store) == 3 * 2 * 2  # clients x sizes x reps
+        assert sorted(set(store.column("set_size"))) == [1, 3]
+
+    def test_bad_set_sizes(self, tmp_path, capsys):
+        rc = main(
+            ["section4", "--set-sizes", "a,b", "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert rc == 2
+        rc = main(
+            ["section4", "--set-sizes", "0", "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert rc == 2
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def store_path(self, tmp_path, section2_store):
+        path = tmp_path / "campaign.jsonl"
+        section2_store.save_jsonl(path)
+        return path
+
+    def test_headline_default(self, store_path, capsys):
+        assert main(["report", str(store_path)]) == 0
+        assert "Headline rates" in capsys.readouterr().out
+
+    def test_multiple_artifacts(self, store_path, capsys):
+        rc = main(
+            ["report", str(store_path), "--artifact", "fig1", "table1", "table2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Table I" in out and "Table II" in out
+
+    def test_fig_series_artifacts(self, store_path, capsys):
+        rc = main(
+            ["report", str(store_path), "--artifact", "fig2", "fig3", "fig4", "fig5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for tag in ("Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+            assert tag in out
+
+    def test_table3_with_client(self, tmp_path, section4_store, capsys):
+        path = tmp_path / "s4.jsonl"
+        section4_store.save_jsonl(path)
+        rc = main(
+            ["report", str(path), "--artifact", "fig6", "table3", "--client", "Duke"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out and "Duke" in out
+
+    def test_missing_store(self, capsys):
+        assert main(["report", "/nonexistent/path.jsonl"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_empty_store(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 2
+
+
+class TestFullReport:
+    def test_all_artifact_on_section2(self, tmp_path, section2_store, capsys):
+        path = tmp_path / "c.jsonl"
+        section2_store.save_jsonl(path)
+        assert main(["report", str(path), "--artifact", "all"]) == 0
+        out = capsys.readouterr().out
+        for tag in ("Headline rates", "Figure 1", "Table I", "Table II",
+                    "Figure 3", "Figure 4", "Figure 5"):
+            assert tag in out
+        assert "Figure 6" not in out  # single-candidate campaign
+
+    def test_all_artifact_on_section4(self, tmp_path, section4_store, capsys):
+        path = tmp_path / "s4.jsonl"
+        section4_store.save_jsonl(path)
+        assert main(["report", str(path), "--artifact", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "Table III" in out
+
+    def test_full_report_empty(self):
+        from repro.analysis import full_report
+        from repro.trace.store import TraceStore
+
+        assert "empty" in full_report(TraceStore())

@@ -1,0 +1,138 @@
+"""Adaptive (mid-transfer switching) session tests."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveTransferSession
+from repro.core.session import SessionConfig
+from repro.http.transfer import TcpParams
+from repro.net.trace import CapacityTrace
+from repro.sim.simulator import Simulator
+from repro.tcp.fluid import FluidNetwork
+from repro.util.units import mb, mbps_to_bytes_per_s
+
+
+def adaptive_session(w, config=None):
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    cfg = config or AdaptiveConfig(
+        session=SessionConfig(tcp=TcpParams(max_window=262_144.0))
+    )
+    return sim, net, AdaptiveTransferSession(net, w.builder, cfg)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(check_interval=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(stall_threshold=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(max_switches=-1)
+
+
+class TestStablePath:
+    def test_no_switch_on_healthy_transfer(self, mini_world):
+        w = mini_world(direct_mbps=2.0, relay_mbps={"R1": 1.0}, file_mb=4.0)
+        sim, net, session = adaptive_session(w)
+        result = session.download("C", "S", "/f", ["R1"])
+        assert result.switches == 0
+        assert result.probes_run == 1
+        assert result.path_sequence == ("direct",)
+        assert result.final_via is None
+
+    def test_bytes_fully_delivered(self, mini_world):
+        w = mini_world(file_mb=4.0)
+        sim, net, session = adaptive_session(w)
+        result = session.download("C", "S", "/f", ["R1"])
+        assert result.size == mb(4)
+        assert result.throughput > 0
+
+    def test_probe_covers_tiny_file(self, mini_world):
+        w = mini_world(file_mb=0.05)
+        sim, net, session = adaptive_session(w)
+        result = session.download("C", "S", "/f", ["R1"])
+        assert result.switches == 0
+        assert result.duration > 0
+
+
+class TestSwitching:
+    def crash_world(self, mini_world, crash_at=4.0, relay_mbps=2.0):
+        """Direct path collapses from 4 Mbps to 0.05 Mbps at ``crash_at``."""
+        trace = CapacityTrace(
+            [0.0, crash_at],
+            [mbps_to_bytes_per_s(4.0), mbps_to_bytes_per_s(0.05)],
+        )
+        return mini_world(
+            direct_trace=trace, relay_mbps={"R1": relay_mbps}, file_mb=8.0
+        )
+
+    def test_switches_away_from_collapsed_path(self, mini_world):
+        w = self.crash_world(mini_world)
+        sim, net, session = adaptive_session(w)
+        result = session.download("C", "S", "/f", ["R1"])
+        assert result.switches >= 1
+        assert result.path_sequence[0] == "direct"  # 4 Mbps wins the probe
+        assert result.path_sequence[-1] == "R1"  # escapes the collapse
+        assert result.final_via == "R1"
+
+    def test_adaptive_beats_non_adaptive_on_collapse(self, mini_world):
+        w = self.crash_world(mini_world)
+        sim, net, session = adaptive_session(w)
+        adaptive = session.download("C", "S", "/f", ["R1"])
+
+        from repro.core.session import TransferSession
+
+        sim2 = Simulator()
+        net2 = FluidNetwork(sim2)
+        plain = TransferSession(
+            net2, w.builder, SessionConfig(tcp=TcpParams(max_window=262_144.0))
+        ).download("C", "S", "/f", ["R1"])
+        assert adaptive.duration < 0.5 * plain.duration
+
+    def test_switch_budget_respected(self, mini_world):
+        w = self.crash_world(mini_world)
+        cfg = AdaptiveConfig(
+            session=SessionConfig(tcp=TcpParams(max_window=262_144.0)),
+            max_switches=0,
+        )
+        sim, net, session = adaptive_session(w, cfg)
+        result = session.download("C", "S", "/f", ["R1"])
+        assert result.switches == 0
+        assert result.path_sequence == ("direct",)  # rides out the collapse
+
+    def test_probe_bytes_resume_from_offset(self, mini_world):
+        """Every byte is delivered exactly once across phases."""
+        w = self.crash_world(mini_world)
+        sim, net, session = adaptive_session(w)
+        result = session.download("C", "S", "/f", ["R1"])
+        # Completion implies the byte ranges tiled [0, size) exactly; a
+        # double-fetch or gap would break the server's range validation.
+        assert result.completed_at > result.requested_at
+        assert result.switches >= 1
+
+    def test_no_thrash_on_mild_dip(self, mini_world):
+        """A dip above the stall threshold does not trigger switching."""
+        trace = CapacityTrace(
+            [0.0, 5.0],
+            [mbps_to_bytes_per_s(2.0), mbps_to_bytes_per_s(1.6)],  # -20%
+        )
+        w = mini_world(direct_trace=trace, relay_mbps={"R1": 0.5}, file_mb=4.0)
+        sim, net, session = adaptive_session(w)
+        result = session.download("C", "S", "/f", ["R1"])
+        assert result.switches == 0
+
+
+class TestOnScenario:
+    def test_runs_on_planetlab_scenario(self, section2_scenario):
+        universe = section2_scenario.universe(0.0)
+        session = AdaptiveTransferSession(
+            universe.network,
+            section2_scenario.builder,
+            AdaptiveConfig(
+                session=SessionConfig(tcp=TcpParams(max_window=131_072.0))
+            ),
+        )
+        relay = section2_scenario.good_static_relay("Italy")
+        result = session.download("Italy", "eBay", section2_scenario.resource, [relay])
+        assert result.size == section2_scenario.spec.file_bytes
+        assert result.switches <= 2

@@ -1,0 +1,80 @@
+"""Path predictor tests: oracle trace-peeking and EWMA history."""
+
+import pytest
+
+from repro.core.predictor import EwmaPredictor, OraclePredictor
+from repro.http.transfer import TcpParams
+from repro.net.trace import CapacityTrace
+from repro.util.units import mbps_to_bytes_per_s
+
+
+class TestOraclePredictor:
+    def test_constant_path_prediction(self, mini_world):
+        w = mini_world(direct_mbps=2.0)
+        path = w.builder.direct("C", "S")
+        pred = OraclePredictor(horizon=10.0, tcp=TcpParams(max_window=1e9))
+        assert pred.predict(path, 0.0) == pytest.approx(
+            mbps_to_bytes_per_s(2.0)
+        )
+
+    def test_window_cap_applies(self, mini_world):
+        w = mini_world(direct_mbps=100.0, access_mbps=200.0)
+        path = w.builder.direct("C", "S")
+        pred = OraclePredictor(horizon=10.0, tcp=TcpParams(max_window=65536.0))
+        assert pred.predict(path, 0.0) == pytest.approx(65536.0 / path.route.rtt)
+
+    def test_sees_future_capacity_change(self, mini_world):
+        trace = CapacityTrace(
+            [0.0, 100.0], [mbps_to_bytes_per_s(1.0), mbps_to_bytes_per_s(3.0)]
+        )
+        w = mini_world(direct_trace=trace)
+        path = w.builder.direct("C", "S")
+        pred = OraclePredictor(horizon=50.0, tcp=TcpParams(max_window=1e9))
+        before = pred.predict(path, 0.0)
+        after = pred.predict(path, 100.0)
+        assert after > before * 2.5
+
+    def test_horizon_validated(self):
+        with pytest.raises(ValueError):
+            OraclePredictor(horizon=0.0)
+
+
+class TestEwmaPredictor:
+    def test_default_optimistic(self, mini_world):
+        w = mini_world()
+        p = EwmaPredictor()
+        assert p.predict(w.builder.direct("C", "S"), 0.0) == float("inf")
+
+    def test_first_observation_sets_estimate(self, mini_world):
+        w = mini_world()
+        path = w.builder.direct("C", "S")
+        p = EwmaPredictor(alpha=0.5)
+        p.observe(path, 100.0)
+        assert p.predict(path, 0.0) == 100.0
+
+    def test_ewma_update(self, mini_world):
+        w = mini_world()
+        path = w.builder.direct("C", "S")
+        p = EwmaPredictor(alpha=0.5)
+        p.observe(path, 100.0)
+        p.observe(path, 200.0)
+        assert p.predict(path, 0.0) == pytest.approx(150.0)
+
+    def test_paths_tracked_separately(self, mini_world):
+        w = mini_world(relay_mbps={"R1": 2.0})
+        direct = w.builder.direct("C", "S")
+        ind = w.builder.indirect("C", "R1", "S")
+        p = EwmaPredictor(default=0.0)
+        p.observe(direct, 100.0)
+        assert p.predict(ind, 0.0) == 0.0
+        assert p.n_paths_observed == 1
+
+    def test_alpha_validated(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=1.5)
+
+    def test_non_positive_observation_rejected(self, mini_world):
+        w = mini_world()
+        p = EwmaPredictor()
+        with pytest.raises(ValueError):
+            p.observe(w.builder.direct("C", "S"), 0.0)

@@ -1,0 +1,169 @@
+"""Probe engine tests: races, sequential ranking, noise, teardown."""
+
+import numpy as np
+import pytest
+
+from repro.core.probe import DEFAULT_PROBE_BYTES, ProbeEngine, ProbeMode
+from repro.tcp.flow import FlowState
+from repro.util.units import kb
+
+
+class TestConcurrentProbe:
+    def test_faster_path_wins(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=1.0, relay_mbps={"R1": 4.0})
+        sim, net, _ = w.universe()
+        engine = ProbeEngine(net, tcp=fast_tcp)
+        paths = [w.builder.direct("C", "S"), w.builder.indirect("C", "R1", "S")]
+        out = engine.run(paths, "/f")
+        assert out.winner.via == "R1"
+        assert out.winner_is_indirect
+
+    def test_direct_wins_when_equal(self, mini_world, fast_tcp):
+        # Equal capacity: direct's lower setup latency wins the race.
+        w = mini_world(direct_mbps=2.0, relay_mbps={"R1": 2.0})
+        sim, net, _ = w.universe()
+        engine = ProbeEngine(net, tcp=fast_tcp)
+        out = engine.run(
+            [w.builder.direct("C", "S"), w.builder.indirect("C", "R1", "S")], "/f"
+        )
+        assert out.winner.via is None
+
+    def test_losers_are_aborted(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=1.0, relay_mbps={"R1": 4.0, "R2": 0.2})
+        sim, net, _ = w.universe()
+        engine = ProbeEngine(net, tcp=fast_tcp)
+        paths = [w.builder.direct("C", "S")] + [
+            w.builder.indirect("C", r, "S") for r in ("R1", "R2")
+        ]
+        out = engine.run(paths, "/f")
+        sim.run()
+        states = {p.label: p.transfer.flow.state for p in out.probes}
+        assert states["R1"] is FlowState.COMPLETED
+        assert states["direct"] is FlowState.ABORTED
+        assert states["R2"] is FlowState.ABORTED
+
+    def test_winner_has_throughput(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        out = ProbeEngine(net).run([w.builder.direct("C", "S")], "/f")
+        win = out.probes[0]
+        assert win.won and win.throughput > 0
+        assert out.throughput_of("direct") == win.throughput
+
+    def test_probe_bytes_clamped_to_file(self, mini_world):
+        w = mini_world(file_mb=0.05)  # 50 KB file < 100 KB probe
+        sim, net, _ = w.universe()
+        out = ProbeEngine(net).run(
+            [w.builder.direct("C", "S")], "/f", probe_bytes=kb(100)
+        )
+        assert out.probes[0].transfer.flow.size == pytest.approx(kb(50))
+
+    def test_overhead_positive(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        out = ProbeEngine(net).run([w.builder.direct("C", "S")], "/f")
+        assert out.overhead_seconds > 0
+        assert out.decided_at == sim.now
+
+    def test_total_probe_bytes_counts_partial_losers(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=1.0, relay_mbps={"R1": 4.0})
+        sim, net, _ = w.universe()
+        out = ProbeEngine(net, tcp=fast_tcp).run(
+            [w.builder.direct("C", "S"), w.builder.indirect("C", "R1", "S")], "/f"
+        )
+        assert out.total_probe_bytes > DEFAULT_PROBE_BYTES  # winner + partial loser
+        assert out.total_probe_bytes < 2 * DEFAULT_PROBE_BYTES
+
+
+class TestSequentialProbe:
+    def test_best_throughput_wins(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=1.0, relay_mbps={"R1": 2.0, "R2": 5.0})
+        sim, net, _ = w.universe()
+        paths = [w.builder.direct("C", "S")] + [
+            w.builder.indirect("C", r, "S") for r in ("R1", "R2")
+        ]
+        out = ProbeEngine(net, tcp=fast_tcp).run(
+            paths, "/f", mode=ProbeMode.SEQUENTIAL
+        )
+        assert out.winner.via == "R2"
+
+    def test_all_probes_complete(self, mini_world):
+        w = mini_world(relay_mbps={"R1": 2.0, "R2": 5.0})
+        sim, net, _ = w.universe()
+        paths = [w.builder.direct("C", "S")] + [
+            w.builder.indirect("C", r, "S") for r in ("R1", "R2")
+        ]
+        out = ProbeEngine(net).run(paths, "/f", mode=ProbeMode.SEQUENTIAL)
+        assert all(p.won for p in out.probes)
+
+    def test_overhead_grows_with_candidates(self, mini_world, fast_tcp):
+        w = mini_world(relay_mbps={"R1": 2.0, "R2": 2.0, "R3": 2.0})
+        def overhead(k):
+            sim, net, _ = w.universe()
+            paths = [w.builder.direct("C", "S")] + [
+                w.builder.indirect("C", f"R{i+1}", "S") for i in range(k)
+            ]
+            return ProbeEngine(net, tcp=fast_tcp).run(
+                paths, "/f", mode=ProbeMode.SEQUENTIAL
+            ).overhead_seconds
+
+        assert overhead(3) > overhead(1) > 0
+
+    def test_noise_can_flip_close_ranking(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=1.0, relay_mbps={"R1": 2.0, "R2": 2.05})
+        flips = 0
+        for seed in range(30):
+            sim, net, _ = w.universe()
+            engine = ProbeEngine(
+                net, tcp=fast_tcp, noise_sigma=0.2, rng=np.random.default_rng(seed)
+            )
+            paths = [w.builder.indirect("C", r, "S") for r in ("R1", "R2")]
+            out = engine.run(paths, "/f", mode=ProbeMode.SEQUENTIAL)
+            if out.winner.via == "R1":
+                flips += 1
+        assert 0 < flips < 30  # noise flips some but not all decisions
+
+    def test_noise_requires_rng(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        with pytest.raises(ValueError, match="rng"):
+            ProbeEngine(net, noise_sigma=0.1)
+
+    def test_measured_vs_true_throughput(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        engine = ProbeEngine(net, noise_sigma=0.3, rng=np.random.default_rng(1))
+        out = engine.run(
+            [w.builder.direct("C", "S")], "/f", mode=ProbeMode.SEQUENTIAL
+        )
+        p = out.probes[0]
+        assert p.measured_throughput != p.throughput
+        assert p.measured_throughput > 0
+
+
+class TestValidation:
+    def test_empty_paths_rejected(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        with pytest.raises(ValueError, match="at least one"):
+            ProbeEngine(net).run([], "/f")
+
+    def test_duplicate_paths_rejected(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        p = w.builder.direct("C", "S")
+        with pytest.raises(ValueError, match="distinct"):
+            ProbeEngine(net).run([p, p], "/f")
+
+    def test_non_positive_probe_bytes(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        with pytest.raises(ValueError):
+            ProbeEngine(net).run([w.builder.direct("C", "S")], "/f", probe_bytes=0)
+
+    def test_unknown_throughput_label(self, mini_world):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        out = ProbeEngine(net).run([w.builder.direct("C", "S")], "/f")
+        with pytest.raises(KeyError):
+            out.throughput_of("nope")

@@ -1,0 +1,166 @@
+"""Outage modelling and failure-masking study tests."""
+
+import numpy as np
+import pytest
+
+from repro.net.failures import Outage, OutageGenerator, apply_outages, total_downtime
+from repro.net.topology import wan_link_name
+from repro.net.trace import CapacityTrace
+from repro.workloads.failures import FailureStudy
+
+
+class TestOutage:
+    def test_end(self):
+        assert Outage(10.0, 5.0).end == 15.0
+
+    def test_overlaps(self):
+        o = Outage(10.0, 5.0)
+        assert o.overlaps(12.0, 20.0)
+        assert o.overlaps(0.0, 11.0)
+        assert not o.overlaps(15.0, 20.0)  # half-open
+        assert not o.overlaps(0.0, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Outage(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            Outage(1.0, 0.0)
+
+
+class TestApplyOutages:
+    def test_zeroes_capacity_during_outage(self):
+        t = apply_outages(CapacityTrace.constant(100.0), [Outage(10.0, 5.0)])
+        assert t.value_at(9.9) == 100.0
+        assert t.value_at(10.0) == 0.0
+        assert t.value_at(14.9) == 0.0
+        assert t.value_at(15.0) == 100.0
+
+    def test_no_outages_returns_same_trace(self):
+        base = CapacityTrace.constant(1.0)
+        assert apply_outages(base, []) is base
+
+    def test_resumes_underlying_value(self):
+        base = CapacityTrace([0.0, 12.0], [100.0, 200.0])
+        t = apply_outages(base, [Outage(10.0, 5.0)])
+        assert t.value_at(15.0) == 200.0  # capacity changed during the outage
+
+    def test_swallows_interior_breakpoints(self):
+        base = CapacityTrace([0.0, 11.0, 12.0], [100.0, 150.0, 200.0])
+        t = apply_outages(base, [Outage(10.0, 5.0)])
+        assert t.min_over(10.0, 14.999) == 0.0
+        assert t.value_at(11.5) == 0.0
+
+    def test_multiple_outages(self):
+        t = apply_outages(
+            CapacityTrace.constant(50.0), [Outage(10.0, 2.0), Outage(20.0, 3.0)]
+        )
+        assert t.value_at(11.0) == 0.0
+        assert t.value_at(15.0) == 50.0
+        assert t.value_at(21.0) == 0.0
+        assert t.value_at(23.0) == 50.0
+
+    def test_overlapping_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            apply_outages(
+                CapacityTrace.constant(1.0), [Outage(10.0, 5.0), Outage(12.0, 5.0)]
+            )
+
+    def test_outage_past_trace_end(self):
+        t = apply_outages(CapacityTrace.constant(7.0), [Outage(100.0, 10.0)])
+        assert t.value_at(105.0) == 0.0
+        assert t.value_at(110.0) == 7.0
+
+    def test_integral_accounts_for_downtime(self):
+        t = apply_outages(CapacityTrace.constant(10.0), [Outage(5.0, 5.0)])
+        assert t.integrate(0.0, 20.0) == pytest.approx(150.0)
+
+
+class TestOutageGenerator:
+    def test_non_overlapping(self):
+        gen = OutageGenerator(mtbf=100.0, mean_duration=20.0)
+        outages = gen.sample(50_000.0, np.random.default_rng(0))
+        for a, b in zip(outages, outages[1:]):
+            assert b.start >= a.end
+
+    def test_availability(self):
+        gen = OutageGenerator(mtbf=900.0, mean_duration=100.0)
+        assert gen.availability == pytest.approx(0.9)
+
+    def test_empirical_downtime_matches_availability(self):
+        gen = OutageGenerator(mtbf=100.0, mean_duration=25.0)
+        horizon = 200_000.0
+        outages = gen.sample(horizon, np.random.default_rng(1))
+        down = total_downtime(outages, 0.0, horizon)
+        assert down / horizon == pytest.approx(1 - gen.availability, abs=0.04)
+
+    def test_deterministic(self):
+        gen = OutageGenerator(mtbf=100.0, mean_duration=10.0)
+        a = gen.sample(1000.0, np.random.default_rng(3))
+        b = gen.sample(1000.0, np.random.default_rng(3))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutageGenerator(mtbf=0.0, mean_duration=1.0)
+
+
+class TestScenarioWithOutages:
+    def test_original_untouched(self, section2_scenario):
+        link_name = wan_link_name("eBay", "Italy")
+        before = section2_scenario.topology.link(link_name).trace
+        degraded = section2_scenario.with_outages(
+            {link_name: [Outage(0.0, 100.0)]}
+        )
+        assert section2_scenario.topology.link(link_name).trace is before
+        assert degraded.topology.link(link_name).trace.value_at(50.0) == 0.0
+
+    def test_unknown_link_rejected(self, section2_scenario):
+        with pytest.raises(KeyError, match="unknown links"):
+            section2_scenario.with_outages({"wan:Narnia->Italy": [Outage(0.0, 1.0)]})
+
+    def test_transfer_stalls_through_outage(self, section2_scenario):
+        """A direct transfer started just before an outage waits it out."""
+        link_name = wan_link_name("eBay", "Italy")
+        degraded = section2_scenario.with_outages(
+            {link_name: [Outage(5.0, 120.0)]}
+        )
+        healthy = section2_scenario.universe(0.0)
+        h = healthy.session.download_direct("Italy", "eBay", section2_scenario.resource)
+        sick = degraded.universe(0.0)
+        s = sick.session.download_direct("Italy", "eBay", degraded.resource)
+        assert s.duration >= h.duration + 100.0
+
+
+class TestFailureStudy:
+    @pytest.fixture(scope="class")
+    def study_results(self, section2_scenario):
+        study = FailureStudy(
+            section2_scenario,
+            generator=OutageGenerator(mtbf=500.0, mean_duration=150.0),
+            repetitions=12,
+        )
+        records = study.run(clients=["Italy", "Sweden", "Korea"])
+        return study, records
+
+    def test_record_count(self, study_results):
+        _, records = study_results
+        assert len(records) == 36
+
+    def test_some_transfers_affected(self, study_results):
+        _, records = study_results
+        affected = [r for r in records if r.outage_overlap]
+        assert len(affected) >= 3  # heavy outage regime must bite sometimes
+
+    def test_masking_occurs(self, study_results):
+        """The probe mechanism masks a solid share of failures (MONET-style)."""
+        study, records = study_results
+        stats = study.masking_stats(records)
+        assert stats.n_affected >= 3
+        assert stats.masking_rate >= 0.4
+        assert stats.mean_affected_speedup > 1.0
+
+    def test_unaffected_transfers_not_inflated(self, study_results):
+        _, records = study_results
+        clean = [r for r in records if not r.outage_overlap]
+        ratios = [r.speedup for r in clean]
+        assert np.median(ratios) >= 0.5  # selector never pathologically slower

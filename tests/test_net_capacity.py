@@ -1,0 +1,154 @@
+"""Capacity process tests: statistics, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.net.capacity import (
+    CompositeCapacity,
+    ConstantCapacity,
+    LognormalAR1Capacity,
+    MarkovModulatedCapacity,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestConstant:
+    def test_sample_is_constant(self):
+        t = ConstantCapacity(500.0).sample(100.0, rng())
+        assert t.n_pieces == 1
+        assert t.value_at(50.0) == 500.0
+
+    def test_mean(self):
+        assert ConstantCapacity(500.0).mean_capacity() == 500.0
+
+    def test_zero_allowed(self):
+        assert ConstantCapacity(0.0).sample(1.0, rng()).value_at(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantCapacity(-1.0)
+
+
+class TestMarkovModulated:
+    def make(self, **kw):
+        defaults = dict(
+            base=1000.0,
+            multipliers=(1.0, 0.5, 2.0),
+            stationary=(0.6, 0.2, 0.2),
+            mean_holding=(100.0, 50.0, 50.0),
+        )
+        defaults.update(kw)
+        return MarkovModulatedCapacity(**defaults)
+
+    def test_covers_duration(self):
+        t = self.make().sample(1000.0, rng())
+        assert t.times[-1] >= 1000.0
+
+    def test_values_are_base_times_multipliers(self):
+        proc = self.make()
+        t = proc.sample(5000.0, rng())
+        allowed = {1000.0, 500.0, 2000.0}
+        assert set(np.unique(t.values)).issubset(allowed)
+
+    def test_deterministic_given_rng(self):
+        a = self.make().sample(500.0, rng(7))
+        b = self.make().sample(500.0, rng(7))
+        assert a == b
+
+    def test_long_run_mean_capacity(self):
+        proc = self.make()
+        t = proc.sample(500_000.0, rng(1))
+        measured = t.integrate(0.0, 500_000.0) / 500_000.0
+        assert measured == pytest.approx(proc.mean_capacity(), rel=0.08)
+
+    def test_state_occupancy_matches_stationary(self):
+        proc = self.make()
+        t = proc.sample(500_000.0, rng(2))
+        # Time spent at multiplier 1.0 should be near 60%.
+        durations = np.diff(np.append(t.times, t.times[-1] + 1.0))
+        frac = durations[t.values == 1000.0].sum() / durations.sum()
+        assert frac == pytest.approx(0.6, abs=0.07)
+
+    def test_dynamic_range(self):
+        assert self.make().dynamic_range == pytest.approx(4.0)
+
+    def test_stationary_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            self.make(stationary=(0.5, 0.2, 0.2))
+
+    def test_needs_two_states(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedCapacity(
+                base=1.0, multipliers=(1.0,), stationary=(1.0,), mean_holding=(10.0,)
+            )
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            self.make(mean_holding=(10.0, 20.0))
+
+    def test_non_positive_holding_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(mean_holding=(10.0, 0.0, 10.0))
+
+
+class TestLognormalAR1:
+    def test_mean_is_base(self):
+        proc = LognormalAR1Capacity(base=2000.0, sigma=0.3, phi=0.8, step=10.0)
+        t = proc.sample(200_000.0, rng(3))
+        measured = t.integrate(0.0, 200_000.0) / 200_000.0
+        assert measured == pytest.approx(2000.0, rel=0.1)
+
+    def test_zero_sigma_is_constant(self):
+        proc = LognormalAR1Capacity(base=100.0, sigma=0.0, phi=0.5, step=5.0)
+        t = proc.sample(100.0, rng())
+        assert np.allclose(t.values, 100.0)
+
+    def test_step_controls_pieces(self):
+        proc = LognormalAR1Capacity(base=1.0, step=10.0)
+        t = proc.sample(100.0, rng())
+        assert t.n_pieces == pytest.approx(12, abs=1)
+
+    def test_autocorrelation_positive(self):
+        proc = LognormalAR1Capacity(base=1.0, sigma=0.5, phi=0.95, step=1.0)
+        t = proc.sample(20_000.0, rng(5))
+        logs = np.log(t.values)
+        x = logs - logs.mean()
+        r1 = float(np.dot(x[:-1], x[1:]) / np.dot(x, x))
+        assert r1 > 0.8
+
+    def test_all_values_positive(self):
+        proc = LognormalAR1Capacity(base=5.0, sigma=1.0, phi=0.9, step=1.0)
+        t = proc.sample(1000.0, rng(6))
+        assert np.all(t.values > 0.0)
+
+    def test_invalid_phi(self):
+        with pytest.raises(ValueError):
+            LognormalAR1Capacity(base=1.0, phi=1.5)
+
+
+class TestComposite:
+    def test_min_composition(self):
+        comp = CompositeCapacity((ConstantCapacity(5.0), ConstantCapacity(3.0)))
+        t = comp.sample(10.0, rng())
+        assert t.value_at(1.0) == 3.0
+
+    def test_mean_is_min_of_means(self):
+        comp = CompositeCapacity((ConstantCapacity(5.0), ConstantCapacity(3.0)))
+        assert comp.mean_capacity() == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeCapacity(())
+
+    def test_composite_below_each_component(self):
+        comp = CompositeCapacity(
+            (
+                LognormalAR1Capacity(base=10.0, sigma=0.4, step=3.0),
+                ConstantCapacity(9.0),
+            )
+        )
+        t = comp.sample(100.0, rng(9))
+        assert np.all(t.values <= 9.0 + 1e-12)

@@ -1,0 +1,76 @@
+"""Tests for the diurnal and trace-replay capacity processes."""
+
+import numpy as np
+import pytest
+
+from repro.net.capacity import DiurnalCapacity, TraceReplayCapacity
+from repro.net.trace import CapacityTrace
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDiurnal:
+    def test_mean_is_base(self):
+        proc = DiurnalCapacity(base=1000.0, amplitude=0.4, period=1000.0, step=10.0)
+        t = proc.sample(10_000.0, rng())
+        measured = t.integrate(0.0, 10_000.0) / 10_000.0
+        assert measured == pytest.approx(1000.0, rel=0.02)
+
+    def test_oscillation_range(self):
+        proc = DiurnalCapacity(base=1000.0, amplitude=0.5, period=100.0, step=1.0)
+        t = proc.sample(200.0, rng())
+        assert float(np.max(t.values)) == pytest.approx(1500.0, rel=0.01)
+        assert float(np.min(t.values)) == pytest.approx(500.0, rel=0.01)
+
+    def test_phase_shifts_peak(self):
+        a = DiurnalCapacity(base=1.0, amplitude=0.5, period=100.0, phase=0.0, step=1.0)
+        b = DiurnalCapacity(base=1.0, amplitude=0.5, period=100.0, phase=25.0, step=1.0)
+        ta, tb = a.sample(100.0, rng()), b.sample(100.0, rng())
+        assert tb.value_at(0.0) == pytest.approx(ta.value_at(25.0), rel=1e-6)
+
+    def test_always_positive(self):
+        proc = DiurnalCapacity(base=100.0, amplitude=0.99, period=50.0, step=0.5)
+        t = proc.sample(200.0, rng())
+        assert np.all(t.values > 0.0)
+
+    def test_deterministic(self):
+        proc = DiurnalCapacity(base=1.0)
+        assert proc.sample(100.0, rng()) == proc.sample(100.0, np.random.default_rng(99))
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ValueError):
+            DiurnalCapacity(base=1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalCapacity(base=1.0, amplitude=-0.1)
+
+
+class TestTraceReplay:
+    def recording(self):
+        return CapacityTrace([0.0, 10.0, 20.0], [100.0, 200.0, 50.0])
+
+    def test_returns_recording_without_loop(self):
+        proc = TraceReplayCapacity(self.recording())
+        assert proc.sample(5.0, rng()) is proc.trace
+
+    def test_loop_extends_coverage(self):
+        proc = TraceReplayCapacity(self.recording(), loop=True)
+        t = proc.sample(100.0, rng())
+        assert t.times[-1] >= 100.0
+        # Periodicity: value at t equals value at t + span (span = 20).
+        for u in (0.0, 5.0, 12.0):
+            assert t.value_at(u) == t.value_at(u + 20.0)
+
+    def test_mean_capacity_time_weighted(self):
+        proc = TraceReplayCapacity(self.recording())
+        # Over [0, 20): 10 s at 100 + 10 s at 200 -> 150.
+        assert proc.mean_capacity() == pytest.approx(150.0)
+
+    def test_constant_recording_mean(self):
+        proc = TraceReplayCapacity(CapacityTrace.constant(42.0))
+        assert proc.mean_capacity() == 42.0
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            TraceReplayCapacity([0, 1])  # type: ignore[arg-type]

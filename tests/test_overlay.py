@@ -1,0 +1,89 @@
+"""Relay registry and overlay path builder tests."""
+
+import pytest
+
+from repro.overlay.paths import OverlayPath
+from repro.overlay.registry import RelayRegistry
+
+
+class TestRegistry:
+    def test_deploy_and_lookup(self, mini_world):
+        w = mini_world(relay_mbps={"R1": 1.0, "R2": 2.0})
+        assert len(w.registry) == 2
+        assert w.registry.proxy("R1").name == "R1"
+        assert "R2" in w.registry
+
+    def test_duplicate_deploy_rejected(self):
+        reg = RelayRegistry()
+        reg.deploy("X")
+        with pytest.raises(ValueError, match="already deployed"):
+            reg.deploy("X")
+
+    def test_unknown_proxy(self):
+        with pytest.raises(KeyError, match="not deployed"):
+            RelayRegistry().proxy("Z")
+
+    def test_names_preserve_order(self):
+        reg = RelayRegistry()
+        for n in ("C", "A", "B"):
+            reg.deploy(n)
+        assert reg.names == ["C", "A", "B"]
+
+    def test_register_origin_everywhere(self, mini_world):
+        w = mini_world(relay_mbps={"R1": 1.0, "R2": 2.0})
+        for name in ("R1", "R2"):
+            assert w.registry.proxy(name).knows_origin("S")
+
+
+class TestOverlayPath:
+    def test_direct_path(self, mini_world):
+        w = mini_world()
+        p = w.builder.direct("C", "S")
+        assert not p.is_indirect
+        assert p.proxy is None
+        assert p.via is None
+        assert p.label == "direct"
+
+    def test_indirect_path(self, mini_world):
+        w = mini_world()
+        p = w.builder.indirect("C", "R1", "S")
+        assert p.is_indirect
+        assert p.via == "R1"
+        assert p.label == "R1"
+        assert p.proxy.name == "R1"
+
+    def test_invariants_enforced(self, mini_world):
+        w = mini_world()
+        direct = w.builder.direct("C", "S")
+        indirect = w.builder.indirect("C", "R1", "S")
+        with pytest.raises(ValueError, match="requires a proxy"):
+            OverlayPath(route=indirect.route, server=w.server, proxy=None)
+        with pytest.raises(ValueError, match="must not carry"):
+            OverlayPath(route=direct.route, server=w.server, proxy=indirect.proxy)
+
+    def test_proxy_route_mismatch(self, mini_world):
+        w = mini_world(relay_mbps={"R1": 1.0, "R2": 2.0})
+        p1 = w.builder.indirect("C", "R1", "S")
+        p2 = w.builder.indirect("C", "R2", "S")
+        with pytest.raises(ValueError, match="does not match"):
+            OverlayPath(route=p1.route, server=w.server, proxy=p2.proxy)
+
+
+class TestBuilder:
+    def test_all_indirect(self, mini_world):
+        w = mini_world(relay_mbps={"R1": 1.0, "R2": 2.0, "R3": 3.0})
+        paths = w.builder.all_indirect("C", "S")
+        assert [p.via for p in paths] == ["R1", "R2", "R3"]
+
+    def test_unknown_server(self, mini_world):
+        w = mini_world()
+        with pytest.raises(KeyError, match="unknown server"):
+            w.builder.direct("C", "Nope")
+
+    def test_relay_must_reach_origin(self, mini_world):
+        w = mini_world()
+        # Deploy a relay that never registered the origin: the builder
+        # refuses before touching the topology.
+        w.registry.deploy("Rx")
+        with pytest.raises(ValueError, match="cannot reach origin"):
+            w.builder.indirect("C", "Rx", "S")

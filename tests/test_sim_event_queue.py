@@ -1,0 +1,106 @@
+"""Event queue tests: ordering, cancellation, hypothesis invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.errors import SchedulingError
+from repro.sim.event_queue import EventQueue
+
+
+def noop():
+    return None
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(3.0, noop, name="c")
+        q.push(1.0, noop, name="a")
+        q.push(2.0, noop, name="b")
+        assert [q.pop().name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion(self):
+        q = EventQueue()
+        q.push(1.0, noop, name="first")
+        q.push(1.0, noop, name="second")
+        assert q.pop().name == "first"
+        assert q.pop().name == "second"
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, noop)
+        assert q.peek_time() == 5.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60))
+    def test_pop_sequence_is_sorted(self, times):
+        q = EventQueue()
+        for t in times:
+            q.push(t, noop)
+        popped = []
+        while True:
+            e = q.pop()
+            if e is None:
+                break
+            popped.append(e.time)
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        e1 = q.push(1.0, noop, name="x")
+        q.push(2.0, noop, name="y")
+        q.cancel(e1)
+        assert q.pop().name == "y"
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        e = q.push(1.0, noop)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 0
+
+    def test_len_counts_active_only(self):
+        q = EventQueue()
+        e1 = q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert len(q) == 2
+        q.cancel(e1)
+        assert len(q) == 1
+        assert bool(q)
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        e = q.push(1.0, noop)
+        q.push(3.0, noop)
+        q.cancel(e)
+        assert q.peek_time() == 3.0
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, noop)
+        q.clear()
+        assert len(q) == 0 and q.pop() is None
+
+
+class TestValidation:
+    def test_non_callable_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(1.0, "not-callable")  # type: ignore[arg-type]
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(float("nan"), noop)
+
+    def test_event_active_flag(self):
+        q = EventQueue()
+        e = q.push(1.0, noop)
+        assert e.active
+        e.cancel()
+        assert not e.active

@@ -1,0 +1,108 @@
+"""Cross-traffic source tests."""
+
+import numpy as np
+import pytest
+
+from repro.net.link import Link
+from repro.net.route import Route
+from repro.net.trace import CapacityTrace
+from repro.sim.simulator import Simulator
+from repro.tcp.cross_traffic import CrossTrafficConfig, CrossTrafficSource
+from repro.tcp.fluid import FluidNetwork
+
+
+def make_route(cap=1e6, name="bg"):
+    return Route([Link(name, "s", "c", CapacityTrace.constant(cap))])
+
+
+class TestConfig:
+    def test_mean_size_respected(self):
+        cfg = CrossTrafficConfig(arrival_rate=1.0, mean_size=50_000.0, sigma=1.0)
+        rng = np.random.default_rng(0)
+        sizes = [cfg.sample_size(rng) for _ in range(4000)]
+        assert np.mean(sizes) == pytest.approx(50_000.0, rel=0.2)
+
+    def test_gap_mean(self):
+        cfg = CrossTrafficConfig(arrival_rate=2.0)
+        rng = np.random.default_rng(1)
+        gaps = [cfg.sample_gap(rng) for _ in range(4000)]
+        assert np.mean(gaps) == pytest.approx(0.5, rel=0.1)
+
+    def test_sizes_at_least_one(self):
+        cfg = CrossTrafficConfig(arrival_rate=1.0, mean_size=2.0, sigma=3.0)
+        rng = np.random.default_rng(2)
+        assert min(cfg.sample_size(rng) for _ in range(1000)) >= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossTrafficConfig(arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            CrossTrafficConfig(arrival_rate=1.0, mean_size=-1.0)
+
+
+class TestSource:
+    def test_generates_until_horizon(self):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        src = CrossTrafficSource(
+            net,
+            [make_route()],
+            CrossTrafficConfig(arrival_rate=5.0, mean_size=1000.0),
+            np.random.default_rng(3),
+            horizon=10.0,
+        )
+        src.start()
+        sim.run()
+        assert src.flows_started == pytest.approx(50, abs=25)
+        assert all(f.done for f in src.flows)
+
+    def test_requires_routes(self):
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        with pytest.raises(ValueError):
+            CrossTrafficSource(
+                net, [], CrossTrafficConfig(arrival_rate=1.0), np.random.default_rng()
+            )
+
+    def test_background_load_slows_foreground_flow(self):
+        route = make_route(cap=100_000.0)
+        # Baseline: alone.
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        f = net.start_flow(route, 200_000.0, activation_delay=0.0)
+        net.run_to_completion(f)
+        alone = f.duration()
+
+        # With heavy cross traffic on the same link.
+        sim2 = Simulator()
+        net2 = FluidNetwork(sim2)
+        src = CrossTrafficSource(
+            net2,
+            [make_route(cap=100_000.0)],  # same link name -> same link object? no:
+            CrossTrafficConfig(arrival_rate=20.0, mean_size=50_000.0),
+            np.random.default_rng(4),
+            horizon=60.0,
+        )
+        # Use the same Route object so contention actually happens.
+        src._routes = [route]
+        src.start()
+        f2 = net2.start_flow(route, 200_000.0, activation_delay=0.0)
+        net2.run_to_completion(f2)
+        assert f2.duration() > alone * 1.2
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            sim = Simulator()
+            net = FluidNetwork(sim)
+            src = CrossTrafficSource(
+                net,
+                [make_route()],
+                CrossTrafficConfig(arrival_rate=3.0),
+                np.random.default_rng(seed),
+                horizon=20.0,
+            )
+            src.start()
+            sim.run()
+            return src.flows_started
+
+        assert run(9) == run(9)

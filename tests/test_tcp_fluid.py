@@ -1,0 +1,240 @@
+"""Fluid transport engine tests: single flows, contention, dynamics."""
+
+import pytest
+
+from repro.net.link import Link
+from repro.net.route import Route
+from repro.net.trace import CapacityTrace
+from repro.sim.errors import TransferError
+from repro.sim.simulator import Simulator
+from repro.tcp.flow import FlowState
+from repro.tcp.fluid import FluidNetwork
+from repro.tcp.model import SlowStartRamp, ideal_transfer_time
+
+
+def C(v):
+    return CapacityTrace.constant(v)
+
+
+def route(cap=1000.0, delay=0.0, trace=None, name="l"):
+    return Route([Link(name, "s", "c", trace if trace is not None else C(cap), delay)])
+
+
+def world():
+    sim = Simulator()
+    return sim, FluidNetwork(sim)
+
+
+class TestSingleFlow:
+    def test_completion_time_uncapped(self):
+        sim, net = world()
+        flow = net.start_flow(route(1000.0), 5000.0, activation_delay=0.0)
+        net.run_to_completion(flow)
+        assert flow.completed_at == pytest.approx(5.0)
+        assert flow.state is FlowState.COMPLETED
+        assert flow.delivered == 5000.0
+
+    def test_activation_delay_default_is_rtt(self):
+        sim, net = world()
+        r = route(1000.0, delay=0.05)
+        flow = net.start_flow(r, 1000.0)
+        net.run_to_completion(flow)
+        assert flow.activated_at == pytest.approx(r.rtt)
+        assert flow.completed_at == pytest.approx(r.rtt + 1.0)
+
+    def test_throughput_includes_setup(self):
+        sim, net = world()
+        flow = net.start_flow(route(1000.0, delay=0.25), 1000.0)
+        net.run_to_completion(flow)
+        assert flow.throughput() == pytest.approx(1000.0 / 1.5)
+
+    def test_matches_ideal_transfer_time_with_ramp(self):
+        sim, net = world()
+        rtt = 0.1
+        ramp = SlowStartRamp(rtt=rtt, initial_window=2920.0, max_window=65536.0)
+        r = route(125_000.0, delay=rtt / 2)
+        flow = net.start_flow(r, 500_000.0, ramp=ramp, activation_delay=0.0)
+        net.run_to_completion(flow)
+        expected = ideal_transfer_time(
+            500_000.0, 125_000.0, rtt, initial_window=2920.0, max_window=65536.0
+        )
+        assert flow.completed_at == pytest.approx(expected, rel=0.02)
+
+    def test_trace_change_mid_transfer(self):
+        # 1000 B/s for 5 s then 500 B/s: 6000 bytes need 5 + 2 = 7 s.
+        tr = CapacityTrace([0.0, 5.0], [1000.0, 500.0])
+        sim, net = world()
+        flow = net.start_flow(route(trace=tr), 6000.0, activation_delay=0.0)
+        net.run_to_completion(flow)
+        assert flow.completed_at == pytest.approx(7.0)
+
+    def test_zero_capacity_then_recovery(self):
+        tr = CapacityTrace([0.0, 10.0], [0.0, 1000.0])
+        sim, net = world()
+        flow = net.start_flow(route(trace=tr), 1000.0, activation_delay=0.0)
+        net.run_to_completion(flow)
+        assert flow.completed_at == pytest.approx(11.0)
+
+    def test_permanent_zero_capacity_deadlocks_loudly(self):
+        sim, net = world()
+        net.start_flow(route(0.0), 1000.0, activation_delay=0.0)
+        with pytest.raises(TransferError, match="deadlock"):
+            sim.run()
+
+
+class TestContention:
+    def make_shared(self, cap=1000.0):
+        shared = Link("shared", "s", "c", C(cap))
+        return Route([shared]), Route([shared])
+
+    def test_two_flows_split_capacity(self):
+        r1, r2 = self.make_shared(1000.0)
+        sim, net = world()
+        f1 = net.start_flow(r1, 1000.0, activation_delay=0.0)
+        f2 = net.start_flow(r2, 1000.0, activation_delay=0.0)
+        net.run_to_completion(f1)
+        net.run_to_completion(f2)
+        # Equal split at 500 B/s each -> both finish at t=2.
+        assert f1.completed_at == pytest.approx(2.0)
+        assert f2.completed_at == pytest.approx(2.0)
+
+    def test_completion_releases_capacity(self):
+        r1, r2 = self.make_shared(1000.0)
+        sim, net = world()
+        f1 = net.start_flow(r1, 500.0, activation_delay=0.0)
+        f2 = net.start_flow(r2, 1500.0, activation_delay=0.0)
+        net.run_to_completion(f2)
+        # Phase 1: both at 500 B/s until t=1 (f1 done, 500 B of f2 moved).
+        # Phase 2: f2 alone at 1000 B/s for remaining 1000 B -> t=2.
+        assert f1.completed_at == pytest.approx(1.0)
+        assert f2.completed_at == pytest.approx(2.0)
+
+    def test_late_arrival_slows_existing_flow(self):
+        r1, r2 = self.make_shared(1000.0)
+        sim, net = world()
+        f1 = net.start_flow(r1, 2000.0, activation_delay=0.0)
+        sim.run(until=1.0)
+        f2 = net.start_flow(r2, 500.0, activation_delay=0.0)
+        net.run_to_completion(f1)
+        # f1 moves 1000 B alone (t=0..1), then shares: 500 B/s each.
+        # f2 finishes at t=2; f1 has 500 B left -> full rate -> t=2.5.
+        assert f2.completed_at == pytest.approx(2.0)
+        assert f1.completed_at == pytest.approx(2.5)
+
+    def test_flow_capped_leaves_capacity_for_other(self):
+        r1, r2 = self.make_shared(1000.0)
+        sim, net = world()
+        ramp = SlowStartRamp(rtt=1.0, initial_window=100.0, max_window=100.0)
+        f1 = net.start_flow(r1, 100.0, ramp=ramp, activation_delay=0.0)  # capped 100 B/s
+        f2 = net.start_flow(r2, 900.0, activation_delay=0.0)
+        net.run_to_completion(f2)
+        assert f2.completed_at == pytest.approx(1.0)
+        assert f1.completed_at == pytest.approx(1.0)
+
+
+class TestAbort:
+    def test_abort_active_flow(self):
+        sim, net = world()
+        f1 = net.start_flow(route(1000.0), 10_000.0, activation_delay=0.0)
+        sim.run(until=1.0)
+        net.abort_flow(f1)
+        assert f1.state is FlowState.ABORTED
+        assert f1.delivered == pytest.approx(1000.0)
+        sim.run()  # queue drains without error
+
+    def test_abort_pending_flow(self):
+        sim, net = world()
+        f1 = net.start_flow(route(1000.0), 1000.0, activation_delay=5.0)
+        net.abort_flow(f1)
+        sim.run()
+        assert f1.state is FlowState.ABORTED
+        assert f1.delivered == 0.0
+
+    def test_abort_idempotent_after_completion(self):
+        sim, net = world()
+        f1 = net.start_flow(route(1000.0), 100.0, activation_delay=0.0)
+        net.run_to_completion(f1)
+        net.abort_flow(f1)  # no-op
+        assert f1.state is FlowState.COMPLETED
+
+    def test_abort_restores_bandwidth(self):
+        shared = Link("shared", "s", "c", C(1000.0))
+        sim, net = world()
+        f1 = net.start_flow(Route([shared]), 10_000.0, activation_delay=0.0)
+        f2 = net.start_flow(Route([shared]), 1500.0, activation_delay=0.0)
+        sim.run(until=1.0)  # each moved 500 B
+        net.abort_flow(f1)
+        net.run_to_completion(f2)
+        # f2's remaining 1000 B at full 1000 B/s -> completes at t=2.
+        assert f2.completed_at == pytest.approx(2.0)
+
+
+class TestCallbacks:
+    def test_on_complete_invoked_once(self):
+        sim, net = world()
+        calls = []
+        f = net.start_flow(
+            route(1000.0), 100.0, activation_delay=0.0, on_complete=calls.append
+        )
+        net.run_to_completion(f)
+        assert calls == [f]
+
+    def test_callback_can_start_followup_flow(self):
+        sim, net = world()
+        followup = {}
+
+        def chain(first):
+            followup["flow"] = net.start_flow(
+                route(1000.0, name="l2"), 1000.0, activation_delay=0.0
+            )
+
+        net.start_flow(route(1000.0), 1000.0, activation_delay=0.0, on_complete=chain)
+        sim.run()
+        assert followup["flow"].state is FlowState.COMPLETED
+        assert followup["flow"].completed_at == pytest.approx(2.0)
+
+    def test_callback_can_abort_sibling(self):
+        shared = Link("shared", "s", "c", C(1000.0))
+        sim, net = world()
+        sibling = net.start_flow(Route([shared]), 10_000.0, activation_delay=0.0)
+        net.start_flow(
+            Route([shared]),
+            500.0,
+            activation_delay=0.0,
+            on_complete=lambda f: net.abort_flow(sibling),
+        )
+        sim.run()
+        assert sibling.state is FlowState.ABORTED
+
+    def test_completed_count(self):
+        sim, net = world()
+        for _ in range(3):
+            net.start_flow(route(1000.0), 10.0, activation_delay=0.0)
+        sim.run()
+        assert net.completed_count == 3
+
+
+class TestFlowObservers:
+    def test_duration_requires_completion(self):
+        sim, net = world()
+        f = net.start_flow(route(1000.0), 1000.0)
+        with pytest.raises(RuntimeError):
+            f.duration()
+
+    def test_remaining_decreases(self):
+        sim, net = world()
+        f = net.start_flow(route(1000.0), 1000.0, activation_delay=0.0)
+        sim.run(until=0.5)
+        # Remaining is updated lazily at ticks; force one by reading state
+        # after an abort-less run boundary.
+        assert f.remaining <= 1000.0
+
+    def test_negative_size_rejected(self):
+        sim, net = world()
+        with pytest.raises(ValueError):
+            net.start_flow(route(1000.0), 0.0)
+
+    def test_negative_activation_delay_rejected(self):
+        sim, net = world()
+        with pytest.raises(ValueError):
+            net.start_flow(route(1000.0), 10.0, activation_delay=-1.0)

@@ -1,0 +1,169 @@
+"""Max-min fair allocator tests, including hypothesis optimality checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.maxmin import maxmin_allocate, verify_maxmin
+
+
+def alloc(caps, inc, flow_caps=None):
+    return maxmin_allocate(
+        np.asarray(caps, dtype=float),
+        np.asarray(inc, dtype=bool),
+        None if flow_caps is None else np.asarray(flow_caps, dtype=float),
+    )
+
+
+class TestSimpleCases:
+    def test_single_flow_single_link(self):
+        assert alloc([10.0], [[True]]).tolist() == [10.0]
+
+    def test_two_flows_share_equally(self):
+        rates = alloc([10.0], [[True, True]])
+        assert rates.tolist() == [5.0, 5.0]
+
+    def test_no_flows(self):
+        assert alloc([10.0], np.zeros((1, 0))).size == 0
+
+    def test_disjoint_links(self):
+        rates = alloc([10.0, 4.0], [[True, False], [False, True]])
+        assert rates.tolist() == [10.0, 4.0]
+
+    def test_classic_linear_network(self):
+        # Link A (cap 10) carries f0, f1; link B (cap 4) carries f1, f2.
+        # Max-min: f1 limited by B -> 2; f2 -> 2; f0 takes A's rest -> 8.
+        inc = [[True, True, False], [False, True, True]]
+        rates = alloc([10.0, 4.0], inc)
+        assert rates == pytest.approx([8.0, 2.0, 2.0])
+
+    def test_three_flows_two_bottlenecks(self):
+        # One shared link cap 9 and a private constraint cap 1 on flow 0.
+        inc = [[True, True, True], [True, False, False]]
+        rates = alloc([9.0, 1.0], inc)
+        assert rates == pytest.approx([1.0, 4.0, 4.0])
+
+
+class TestCaps:
+    def test_cap_binds(self):
+        rates = alloc([10.0], [[True, True]], flow_caps=[2.0, np.inf])
+        assert rates == pytest.approx([2.0, 8.0])
+
+    def test_zero_cap_flow_gets_zero(self):
+        rates = alloc([10.0], [[True, True]], flow_caps=[0.0, np.inf])
+        assert rates == pytest.approx([0.0, 10.0])
+
+    def test_all_capped_below_fair_share(self):
+        rates = alloc([10.0], [[True, True]], flow_caps=[1.0, 2.0])
+        assert rates == pytest.approx([1.0, 2.0])
+
+    def test_cap_equal_fair_share(self):
+        rates = alloc([10.0], [[True, True]], flow_caps=[5.0, np.inf])
+        assert rates == pytest.approx([5.0, 5.0])
+
+
+class TestValidation:
+    def test_flow_without_link_rejected(self):
+        with pytest.raises(ValueError, match="at least one link"):
+            alloc([10.0], [[True, False]])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            alloc([-1.0], [[True]])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            maxmin_allocate(np.array([1.0, 2.0]), np.ones((1, 1), dtype=bool))
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            alloc([1.0], [[True]], flow_caps=[-1.0])
+
+
+class TestVerifier:
+    def test_accepts_correct_allocation(self):
+        inc = np.array([[True, True, False], [False, True, True]])
+        caps = np.array([10.0, 4.0])
+        rates = maxmin_allocate(caps, inc)
+        assert verify_maxmin(caps, inc, rates)
+
+    def test_rejects_infeasible(self):
+        inc = np.array([[True, True]])
+        caps = np.array([10.0])
+        assert not verify_maxmin(caps, inc, np.array([8.0, 8.0]))
+
+    def test_rejects_non_maxmin(self):
+        # Feasible but unfair: one flow starved without a bottleneck reason.
+        inc = np.array([[True, True]])
+        caps = np.array([10.0])
+        assert not verify_maxmin(caps, inc, np.array([1.0, 2.0]))
+
+    def test_rejects_cap_violation(self):
+        inc = np.array([[True]])
+        caps = np.array([10.0])
+        assert not verify_maxmin(caps, inc, np.array([5.0]), caps=np.array([1.0]))
+
+
+@st.composite
+def allocation_problems(draw):
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    caps = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1000.0),
+            min_size=n_links,
+            max_size=n_links,
+        )
+    )
+    inc = np.zeros((n_links, n_flows), dtype=bool)
+    for f in range(n_flows):
+        links = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=1,
+                max_size=n_links,
+                unique=True,
+            )
+        )
+        inc[links, f] = True
+    use_caps = draw(st.booleans())
+    flow_caps = None
+    if use_caps:
+        flow_caps = draw(
+            st.lists(
+                st.one_of(
+                    st.floats(min_value=0.1, max_value=500.0), st.just(float("inf"))
+                ),
+                min_size=n_flows,
+                max_size=n_flows,
+            )
+        )
+    return np.asarray(caps), inc, None if flow_caps is None else np.asarray(flow_caps)
+
+
+class TestMaxMinProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(allocation_problems())
+    def test_allocation_is_maxmin_optimal(self, problem):
+        caps, inc, flow_caps = problem
+        rates = maxmin_allocate(caps, inc, flow_caps)
+        assert verify_maxmin(caps, inc, rates, flow_caps)
+
+    @settings(max_examples=100, deadline=None)
+    @given(allocation_problems())
+    def test_feasibility(self, problem):
+        caps, inc, flow_caps = problem
+        rates = maxmin_allocate(caps, inc, flow_caps)
+        load = inc @ rates
+        assert np.all(load <= caps * (1 + 1e-6) + 1e-9)
+        assert np.all(rates >= 0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(allocation_problems())
+    def test_scale_invariance(self, problem):
+        caps, inc, flow_caps = problem
+        r1 = maxmin_allocate(caps, inc, flow_caps)
+        scaled_caps = None if flow_caps is None else flow_caps * 2.0
+        r2 = maxmin_allocate(caps * 2.0, inc, scaled_caps)
+        assert np.allclose(r2, r1 * 2.0, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,110 @@
+"""Property-based round-trip tests for trace records and stores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.records import TransferRecord
+from repro.trace.store import TraceStore
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -"),
+    min_size=1,
+    max_size=16,
+).map(str.strip).filter(bool)
+
+
+@st.composite
+def records(draw):
+    n_offered = draw(st.integers(min_value=0, max_value=4))
+    offered = tuple(f"R{i}-{draw(st.integers(0, 99))}" for i in range(n_offered))
+    if offered and draw(st.booleans()):
+        selected = offered[draw(st.integers(0, len(offered) - 1))]
+    else:
+        selected = None
+    return TransferRecord(
+        study=draw(names),
+        client=draw(names),
+        site=draw(st.sampled_from(["eBay", "Google", "Microsoft", "Yahoo"])),
+        repetition=draw(st.integers(0, 10_000)),
+        start_time=draw(st.floats(min_value=0, max_value=1e6)),
+        set_size=len(offered),
+        offered=offered,
+        selected_via=selected,
+        direct_throughput=draw(st.floats(min_value=1.0, max_value=1e8)),
+        selected_throughput=draw(st.floats(min_value=1.0, max_value=1e8)),
+        end_to_end_throughput=draw(st.floats(min_value=1.0, max_value=1e8)),
+        probe_overhead=draw(st.floats(min_value=0.0, max_value=1e3)),
+        file_bytes=draw(st.floats(min_value=1.0, max_value=1e9)),
+        direct_class=draw(st.sampled_from(["low", "medium", "high", ""])),
+        direct_variability=draw(st.sampled_from(["low", "high", ""])),
+    )
+
+
+class TestRecordProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(records())
+    def test_dict_round_trip(self, rec):
+        assert TransferRecord.from_dict(rec.to_dict()) == rec
+
+    @settings(max_examples=100, deadline=None)
+    @given(records())
+    def test_improvement_penalty_consistency(self, rec):
+        if rec.is_penalty:
+            assert rec.used_indirect
+            assert rec.improvement < 0
+            assert rec.penalty_percent > 0
+        if not rec.used_indirect:
+            assert rec.penalty_percent == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(records())
+    def test_penalty_improvement_algebra(self, rec):
+        """penalty and improvement are two views of the same ratio."""
+        if rec.is_penalty:
+            # improvement = s/d - 1, penalty = d/s - 1 (in fractions).
+            imp = rec.improvement
+            pen = rec.penalty_percent / 100.0
+            # Float rounding grows with extreme throughput ratios (the
+            # generator allows d/s up to 1e8), so compare loosely.
+            assert (1 + imp) * (1 + pen) == pytest.approx(1.0, rel=1e-6)
+
+
+class TestStoreProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(records(), max_size=20))
+    def test_jsonl_round_trip(self, recs):
+        import tempfile
+        from pathlib import Path
+
+        store = TraceStore(recs)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "s.jsonl"
+            store.save_jsonl(path)
+            assert TraceStore.load_jsonl(path).records == store.records
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(records(), max_size=20))
+    def test_group_by_partitions(self, recs):
+        store = TraceStore(recs)
+        groups = store.group_by("client")
+        assert sum(len(g) for g in groups.values()) == len(store)
+        for client, sub in groups.items():
+            assert all(r.client == client for r in sub)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(records(), max_size=20))
+    def test_filter_complement(self, recs):
+        store = TraceStore(recs)
+        used = store.filter(used_indirect=True)
+        not_used = store.filter(used_indirect=False)
+        assert len(used) + len(not_used) == len(store)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(records(), min_size=1, max_size=20))
+    def test_column_matches_rows(self, recs):
+        store = TraceStore(recs)
+        col = store.column("direct_throughput")
+        assert isinstance(col, np.ndarray)
+        assert col.tolist() == [r.direct_throughput for r in recs]

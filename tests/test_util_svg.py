@@ -1,0 +1,132 @@
+"""SVG chart renderer tests: well-formedness and geometry sanity."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.util.svg import svg_grouped_bars, svg_histogram, svg_line_chart
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+def elements(root, tag):
+    return root.findall(f".//{SVG_NS}{tag}")
+
+
+class TestHistogram:
+    def make(self):
+        return svg_histogram(
+            [10.0, 40.0, 30.0, 20.0],
+            [-50, 0, 50, 100, 150],
+            title="Fig 1",
+        )
+
+    def test_well_formed(self):
+        root = parse(self.make())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_nonzero_bin_plus_frame_and_bg(self):
+        root = parse(self.make())
+        rects = elements(root, "rect")
+        assert len(rects) == 4 + 2  # bars + background + frame
+
+    def test_zero_bins_skipped(self):
+        svg = svg_histogram([0.0, 100.0], [0, 1, 2], title="t")
+        rects = elements(parse(svg), "rect")
+        assert len(rects) == 1 + 2
+
+    def test_title_present(self):
+        assert "Fig 1" in self.make()
+
+    def test_taller_bin_higher_bar(self):
+        root = parse(self.make())
+        bars = [r for r in elements(root, "rect") if r.get("fill", "").startswith("#")]
+        heights = [float(r.get("height")) for r in bars]
+        assert max(heights) == pytest.approx(
+            heights[1], rel=1e-6
+        )  # the 40% bin is the tallest
+
+    def test_edge_mismatch(self):
+        with pytest.raises(ValueError):
+            svg_histogram([1.0], [0, 1, 2], title="t")
+
+
+class TestLineChart:
+    def make(self):
+        return svg_line_chart(
+            {
+                "Duke": ([1, 2, 4], [10.0, 20.0, 25.0]),
+                "Italy": ([1, 2, 4], [5.0, 8.0, 9.0]),
+            },
+            title="Fig 6",
+            xlabel="k",
+            ylabel="improvement",
+        )
+
+    def test_one_polyline_per_series(self):
+        root = parse(self.make())
+        assert len(elements(root, "polyline")) == 2
+
+    def test_markers_present(self):
+        root = parse(self.make())
+        assert len(elements(root, "circle")) == 6
+
+    def test_markers_optional(self):
+        svg = svg_line_chart(
+            {"a": ([0, 1], [0.0, 1.0])}, title="t", xlabel="x", ylabel="y",
+            markers=False,
+        )
+        assert len(elements(parse(svg), "circle")) == 0
+
+    def test_legend_labels(self):
+        svg = self.make()
+        assert "Duke" in svg and "Italy" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({}, title="t", xlabel="x", ylabel="y")
+        with pytest.raises(ValueError):
+            svg_line_chart({"a": ([], [])}, title="t", xlabel="x", ylabel="y")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            svg_line_chart({"a": ([1], [1, 2])}, title="t", xlabel="x", ylabel="y")
+
+    def test_text_escaped(self):
+        svg = svg_line_chart(
+            {"a<b": ([0, 1], [0.0, 1.0])}, title="x & y", xlabel="x", ylabel="y"
+        )
+        parse(svg)  # must not raise
+        assert "a&lt;b" in svg
+
+
+class TestGroupedBars:
+    def make(self):
+        return svg_grouped_bars(
+            ["Berkeley", "UCSD"],
+            {"average": [30.0, 50.0], "RMS": [40.0, 60.0]},
+            title="Fig 5",
+            ylabel="percent",
+        )
+
+    def test_bar_count(self):
+        root = parse(self.make())
+        rects = elements(root, "rect")
+        # 2 categories x 2 groups + background + frame + 2 legend swatches.
+        assert len(rects) == 4 + 2 + 2
+
+    def test_category_labels_present(self):
+        svg = self.make()
+        assert "Berkeley" in svg and "UCSD" in svg
+
+    def test_group_length_validated(self):
+        with pytest.raises(ValueError):
+            svg_grouped_bars(["a", "b"], {"g": [1.0]}, title="t")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            svg_grouped_bars([], {}, title="t")

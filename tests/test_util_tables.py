@@ -1,0 +1,83 @@
+"""Text table/figure renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.util.tables import render_histogram, render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "value"], [("a", 1), ("bb", 22)])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = render_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [(3.14159,)], float_fmt=".2f")
+        assert "3.14" in out
+        assert "3.141" not in out
+
+    def test_nan_rendered_as_dash(self):
+        out = render_table(["v"], [(float("nan"),)])
+        assert "-" in out.splitlines()[-1]
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [(1,)])
+
+    def test_numpy_scalars_ok(self):
+        out = render_table(["v"], [(np.float64(1.5),), (np.int64(2),)])
+        assert "1.5" in out and "2" in out
+
+    def test_bool_cell(self):
+        out = render_table(["v"], [(True,)])
+        assert "True" in out
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_peak(self):
+        out = render_histogram([10.0, 50.0], [0, 1, 2], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 2
+        assert lines[1].count("#") == 10
+
+    def test_mismatched_edges(self):
+        with pytest.raises(ValueError):
+            render_histogram([1.0], [0, 1, 2])
+
+    def test_title_and_percent(self):
+        out = render_histogram([100.0], [0, 1], title="H")
+        assert out.splitlines()[0] == "H"
+        assert "100.00%" in out
+
+    def test_all_zero_bins(self):
+        out = render_histogram([0.0, 0.0], [0, 1, 2])
+        assert "#" not in out
+
+
+class TestRenderSeries:
+    def test_rows(self):
+        out = render_series([1, 2], [10.0, 20.0], x_name="k", y_name="imp")
+        assert "k" in out and "imp" in out
+        assert "10.00" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1, 2])
+
+
+class TestRenderKv:
+    def test_keys_aligned(self):
+        out = render_kv([("a", 1), ("long-key", 2.5)])
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert render_kv([]) == ""

@@ -1,0 +1,43 @@
+"""Unit conversion tests."""
+
+import math
+
+import pytest
+
+from repro.util import units
+
+
+class TestConversions:
+    def test_mbps_round_trip(self):
+        for mbps in (0.1, 1.0, 2.5, 100.0):
+            assert units.bytes_per_s_to_mbps(units.mbps_to_bytes_per_s(mbps)) == pytest.approx(mbps)
+
+    def test_one_mbps_is_125000_bytes_per_s(self):
+        assert units.mbps_to_bytes_per_s(1.0) == pytest.approx(125_000.0)
+
+    def test_kb_and_mb_are_decimal(self):
+        assert units.kb(100) == 100_000.0
+        assert units.mb(2) == 2_000_000.0
+        assert units.GB == 1000 * units.MB
+
+    def test_minute_hour(self):
+        assert units.HOUR == 60 * units.MINUTE
+
+
+class TestSecondsToTransfer:
+    def test_basic(self):
+        assert units.seconds_to_transfer(1_000_000, 125_000) == pytest.approx(8.0)
+
+    def test_zero_size_is_instant(self):
+        assert units.seconds_to_transfer(0.0, 125_000) == 0.0
+
+    def test_negative_size_is_instant(self):
+        assert units.seconds_to_transfer(-5.0, 125_000) == 0.0
+
+    def test_zero_rate_raises(self):
+        with pytest.raises(ValueError, match="non-positive rate"):
+            units.seconds_to_transfer(100.0, 0.0)
+
+    def test_negative_rate_raises(self):
+        with pytest.raises(ValueError):
+            units.seconds_to_transfer(100.0, -1.0)

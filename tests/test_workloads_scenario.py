@@ -1,0 +1,132 @@
+"""Scenario assembly tests."""
+
+import pytest
+
+from repro.core.session import SessionConfig
+from repro.net.topology import wan_link_name
+from repro.util.units import HOUR, mb
+from repro.workloads.profiles import ThroughputClass
+from repro.workloads.scenario import Scenario, ScenarioSpec
+
+
+class TestSpecs:
+    def test_section2_shape(self):
+        spec = ScenarioSpec.section2()
+        assert len(spec.clients) == 22
+        assert len(spec.relays) == 21
+        assert spec.sites == ("eBay", "Google", "Microsoft", "Yahoo")
+        assert spec.file_bytes >= mb(2)  # paper: files not smaller than 2 MB
+
+    def test_section4_shape(self):
+        spec = ScenarioSpec.section4()
+        assert [c.name for c in spec.clients] == ["Duke", "Italy", "Sweden"]
+        assert len(spec.relays) == 35
+        assert spec.sites == ("eBay",)
+
+    def test_section4_forced_classes_low_or_medium(self):
+        spec = ScenarioSpec.section4()
+        for cls in spec.forced_classes.values():
+            assert cls in (ThroughputClass.LOW, ThroughputClass.MEDIUM)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.section2(sites=())
+        with pytest.raises(ValueError):
+            ScenarioSpec.section2(horizon=-1.0)
+        with pytest.raises(ValueError, match="without profiles"):
+            ScenarioSpec.section2(sites=("AltaVista",))
+
+
+class TestBuild:
+    def test_build_section2(self, section2_scenario):
+        sc = section2_scenario
+        assert len(sc.client_names) == 22
+        assert len(sc.relay_names) == 21
+        assert sc.site_names == ["eBay"]
+        sc.topology.validate()
+
+    def test_all_wan_segments_present(self, section2_scenario):
+        sc = section2_scenario
+        for client in sc.client_names:
+            assert sc.topology.has_wan_link("eBay", client)
+            for relay in sc.relay_names:
+                assert sc.topology.has_wan_link(relay, client)
+        for relay in sc.relay_names:
+            assert sc.topology.has_wan_link("eBay", relay)
+
+    def test_resource_published_everywhere(self, section2_scenario):
+        sc = section2_scenario
+        for server in sc.servers.values():
+            assert server.resource_size(sc.resource) == int(sc.spec.file_bytes)
+
+    def test_profiles_for_every_client(self, section2_scenario):
+        assert set(section2_scenario.profiles) == set(section2_scenario.client_names)
+
+    def test_deterministic_build(self):
+        spec = ScenarioSpec.section2(sites=("eBay",))
+        a = Scenario.build(spec, seed=5)
+        b = Scenario.build(spec, seed=5)
+        assert a.profiles == b.profiles
+        link = wan_link_name("eBay", "Italy")
+        assert a.topology.link(link).trace == b.topology.link(link).trace
+
+    def test_seed_changes_build(self):
+        spec = ScenarioSpec.section2(sites=("eBay",))
+        a = Scenario.build(spec, seed=5)
+        b = Scenario.build(spec, seed=6)
+        link = wan_link_name("eBay", "Italy")
+        assert a.topology.link(link).trace != b.topology.link(link).trace
+
+    def test_section4_forced_classes_applied(self, section4_scenario):
+        assert (
+            section4_scenario.profiles["Sweden"].throughput_class
+            is ThroughputClass.LOW
+        )
+        assert (
+            section4_scenario.profiles["Duke"].throughput_class
+            is ThroughputClass.MEDIUM
+        )
+
+
+class TestUniverse:
+    def test_universe_time(self, section2_scenario):
+        u = section2_scenario.universe(100.0)
+        assert u.sim.now == 100.0
+
+    def test_negative_start_rejected(self, section2_scenario):
+        with pytest.raises(ValueError):
+            section2_scenario.universe(-1.0)
+
+    def test_same_start_same_conditions(self, section2_scenario):
+        sc = section2_scenario
+        u1 = sc.universe(1000.0)
+        u2 = sc.universe(1000.0)
+        r1 = u1.session.download_direct("Italy", "eBay", sc.resource)
+        r2 = u2.session.download_direct("Italy", "eBay", sc.resource)
+        assert r1.transfer_throughput == r2.transfer_throughput
+
+    def test_noise_labels_seed_session(self, section4_scenario):
+        cfg = SessionConfig(probe_noise_sigma=0.2)
+        u = section4_scenario.universe(0.0, config=cfg, noise_labels=("t", 1))
+        assert u.session is not None  # rng wired without error
+
+
+class TestStaticRelayChoice:
+    def test_good_static_relay_is_good(self, section2_scenario):
+        sc = section2_scenario
+        relay = sc.good_static_relay("Italy", rank=2)
+        best = sc.good_static_relay("Italy", rank=0)
+        caps = {
+            r: sc.mean_overlay_capacity("Italy", r) for r in sc.relay_names
+        }
+        ranked = sorted(caps, key=caps.get, reverse=True)
+        assert best == ranked[0]
+        assert relay == ranked[2]
+
+    def test_rank_clamped(self, section2_scenario):
+        sc = section2_scenario
+        assert sc.good_static_relay("Italy", rank=10_000) == sorted(
+            sc.relay_names,
+            key=lambda r: sc.mean_overlay_capacity("Italy", r),
+            reverse=True,
+        )[-1]

@@ -1,0 +1,56 @@
+"""Calibration sensitivity sweep tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.calibration import CalibrationParams
+from repro.workloads.sweeps import (
+    SensitivityPoint,
+    calibration_sensitivity,
+    default_variants,
+)
+
+
+class TestDefaultVariants:
+    def test_contains_calibrated_point(self):
+        variants = default_variants()
+        assert "calibrated" in variants
+        assert variants["calibrated"] == CalibrationParams()
+
+    def test_seven_points(self):
+        assert len(default_variants()) == 7
+
+    def test_perturbations_differ_from_base(self):
+        variants = default_variants()
+        base = variants.pop("calibrated")
+        for label, params in variants.items():
+            assert params != base, label
+
+    def test_overlay_scaling(self):
+        variants = default_variants()
+        lo, mid, hi = CalibrationParams().overlay_scale_medians
+        plus = variants["overlay +15%"].overlay_scale_medians
+        assert plus[0] == pytest.approx(1.15 * lo)
+
+
+class TestSensitivity:
+    def test_points_and_conclusion(self):
+        variants = {
+            "a": CalibrationParams(),
+            "b": dataclasses.replace(CalibrationParams(), relay_quality_sigma=0.25),
+        }
+        points = calibration_sensitivity(
+            variants, seed=5, clients=["Italy", "Sweden"], repetitions=6
+        )
+        assert [p.label for p in points] == ["a", "b"]
+        for p in points:
+            assert p.n_transfers == 12
+            assert 0.0 <= p.utilization <= 1.0
+            assert isinstance(p, SensitivityPoint)
+
+    def test_conclusion_holds_predicate(self):
+        good = SensitivityPoint("x", 10, 0.4, 0.9, 40.0, 35.0, 0.1)
+        bad = SensitivityPoint("y", 10, 0.05, 0.9, 40.0, 35.0, 0.1)
+        assert good.conclusion_holds
+        assert not bad.conclusion_holds

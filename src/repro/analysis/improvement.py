@@ -21,6 +21,7 @@ import numpy as np
 from repro.analysis.metrics import improvements_when_indirect
 from repro.trace.store import TraceStore
 from repro.util.stats import fraction_below, fraction_between, percent_histogram
+from repro.util.units import bytes_per_s_to_mbps
 
 __all__ = [
     "DEFAULT_BIN_EDGES",
@@ -145,7 +146,7 @@ def improvement_vs_throughput(
         sub = sub.filter(client=client)
     if relay is not None:
         sub = sub.filter(selected_via=relay)
-    direct = sub.column("direct_throughput") * 8.0 / 1e6  # bytes/s -> Mbps
+    direct = bytes_per_s_to_mbps(sub.column("direct_throughput"))
     imp = sub.column("improvement_percent")
     if direct.size >= 2 and float(np.ptp(direct)) > 0.0:
         slope, intercept = np.polyfit(direct, imp, 1)

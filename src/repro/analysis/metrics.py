@@ -32,6 +32,7 @@ __all__ = [
     "positive_given_indirect",
     "HeadlineStats",
     "headline_stats",
+    "mean_improvement_by_site",
 ]
 
 
@@ -110,6 +111,3 @@ def mean_improvement_by_site(store: TraceStore) -> Dict[str, float]:
         imps = improvements_when_indirect(sub)
         out[site] = float(np.mean(imps)) if imps.size else float("nan")
     return out
-
-
-__all__.append("mean_improvement_by_site")

@@ -9,11 +9,15 @@ Usage (also available as ``python -m repro``):
     repro report s2.jsonl --artifact fig1 table1 headline
     repro report s4.jsonl --artifact fig6 table3 --client Duke
     repro catalog                                       # Tables IV & V
+    repro lint src tests benchmarks                     # QA-* static linter
+    repro lint --rules                                  # rule catalogue
+    repro selfcheck                                     # sanitizer battery
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -40,6 +44,8 @@ from repro.analysis import (
     total_utilization_stats,
     utilization_vs_improvement,
 )
+from repro.qa.lint import iter_python_files, lint_paths
+from repro.qa.rules import INVARIANTS, RULES
 from repro.trace.store import TraceStore
 from repro.util.tables import render_table
 from repro.workloads.experiment import Section2Study, Section4Study
@@ -114,6 +120,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("catalog", help="print the PlanetLab node catalogues")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project QA-* linter (determinism / units / sim safety)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--no-hints", action="store_true", help="omit fix hints from findings"
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule and invariant catalogues and exit",
+    )
+
+    sub.add_parser(
+        "selfcheck",
+        help="prove every runtime invariant check fires (sanitizer battery)",
+    )
     return parser
 
 
@@ -237,6 +267,48 @@ def _cmd_catalog(_args) -> int:
     return 0
 
 
+def _render_rule_catalog() -> str:
+    lines = ["Static lint rules (suppress with `# qa: ignore[CODE]`):"]
+    for code, rule in RULES.items():
+        lines.append(f"  {code}  {rule.name} [{rule.scope}]")
+        lines.append(f"      {rule.summary}")
+        lines.append(f"      fix: {rule.hint}")
+    lines.append("")
+    lines.append("Runtime invariants (enable with REPRO_SANITIZE=1):")
+    for code, inv in INVARIANTS.items():
+        lines.append(f"  {code}  {inv.name}")
+        lines.append(f"      {inv.summary}")
+    return "\n".join(lines)
+
+
+def _cmd_lint(args) -> int:
+    if args.rules:
+        print(_render_rule_catalog())
+        return 0
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such file or directory: {missing}", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths)
+    for finding in findings:
+        print(finding.format(hints=not args.no_hints))
+    n_files = sum(1 for _ in iter_python_files(args.paths))
+    if findings:
+        print(f"{len(findings)} finding(s) in {n_files} file(s)")
+        return 1
+    print(f"clean: 0 findings in {n_files} file(s)")
+    return 0
+
+
+def _cmd_selfcheck(_args) -> int:
+    # Imported lazily: selfcheck pulls in the whole simulator stack.
+    from repro.qa.selfcheck import render_results, run_selfcheck
+
+    results = run_selfcheck()
+    print(render_results(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -245,8 +317,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "section4": _cmd_section4,
         "report": _cmd_report,
         "catalog": _cmd_catalog,
+        "lint": _cmd_lint,
+        "selfcheck": _cmd_selfcheck,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro lint | head`); exit quietly
+        # like other Unix filters. Point stdout at devnull so the interpreter
+        # does not raise again while flushing during shutdown.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

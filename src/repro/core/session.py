@@ -204,12 +204,15 @@ class TransferSession:
             probe_bytes=self._config.probe_bytes,
             mode=self._config.probe_mode,
         )
+        sanitizer = self._network.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_probe_outcome(outcome, [p.label for p in candidates])
         winner = outcome.winner
         x = min(self._config.probe_bytes, size)
 
         if x >= size:
             # The probe already fetched the whole file over the winner.
-            return SessionResult(
+            return self._checked(SessionResult(
                 client=client,
                 server=server,
                 resource=resource,
@@ -219,7 +222,7 @@ class TransferSession:
                 requested_at=requested_at,
                 completed_at=self.now,
                 probe=outcome,
-            )
+            ))
 
         remainder_started_at = self.now
         request = HttpRequest(
@@ -239,7 +242,7 @@ class TransferSession:
         )
         self._network.run_to_completion(transfer.flow)
 
-        return SessionResult(
+        return self._checked(SessionResult(
             client=client,
             server=server,
             resource=resource,
@@ -250,9 +253,16 @@ class TransferSession:
             completed_at=self.now,
             probe=outcome,
             remainder_started_at=remainder_started_at,
-        )
+        ))
 
     # ------------------------------------------------------------------ #
+    def _checked(self, result: SessionResult) -> SessionResult:
+        """Run the sanitizer's session post-conditions when installed."""
+        sanitizer = self._network.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_session_result(result)
+        return result
+
     def _full_download(
         self, path: OverlayPath, client: str, server: str, resource: str
     ) -> SessionResult:
@@ -269,7 +279,7 @@ class TransferSession:
             name=f"full:{path.label}",
         )
         self._network.run_to_completion(transfer.flow)
-        return SessionResult(
+        return self._checked(SessionResult(
             client=client,
             server=server,
             resource=resource,
@@ -278,4 +288,4 @@ class TransferSession:
             selected_via=path.via,
             requested_at=requested_at,
             completed_at=self.now,
-        )
+        ))

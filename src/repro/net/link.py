@@ -13,10 +13,11 @@ request direction into the RTT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.trace import CapacityTrace
+from repro.util.units import s_to_ms
 from repro.util.validation import check_non_negative
 
 __all__ = ["Link"]
@@ -67,4 +68,4 @@ class Link:
         return isinstance(other, Link) and other.name == self.name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Link({self.name!r}, delay={self.delay * 1e3:.1f}ms, {self.trace!r})"
+        return f"Link({self.name!r}, delay={s_to_ms(self.delay):.1f}ms, {self.trace!r})"

@@ -1,0 +1,541 @@
+"""AST-based project linter enforcing the ``QA-*`` rule catalogue.
+
+The linter is a single :mod:`ast` pass per file plus a line scan for
+suppression comments.  It is dependency-free (stdlib only) so it can run in
+any environment the library itself runs in, including CI images without the
+third-party toolchain.
+
+Suppression: append ``# qa: ignore[QA-D001]`` (comma-separate several codes,
+the ``QA-`` prefix is optional) to the offending line.  Suppressions are
+line-scoped on purpose - a file-wide opt-out would defeat the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.qa.rules import RULES, SIM_SCOPED_SUBPACKAGES, Rule
+
+__all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str
+
+    def format(self, *, hints: bool = True) -> str:
+        """Render as ``path:line:col: CODE message`` (plus an indented hint)."""
+        head = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if hints and self.hint:
+            return f"{head}\n    hint: {self.hint}"
+        return head
+
+
+# --------------------------------------------------------------------------- #
+# scoping
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ModuleScope:
+    """Where a file sits relative to the library layout."""
+
+    in_library: bool
+    subpackage: Optional[str]
+    is_units_module: bool
+
+    def applies(self, rule: Rule) -> bool:
+        if rule.scope == "everywhere":
+            return True
+        if rule.scope == "library":
+            return self.in_library
+        if rule.scope == "sim-core":
+            return self.in_library and self.subpackage in SIM_SCOPED_SUBPACKAGES
+        raise ValueError(f"unknown rule scope {rule.scope!r}")  # pragma: no cover
+
+
+def classify_path(path: str) -> ModuleScope:
+    """Classify ``path`` into a :class:`ModuleScope`.
+
+    A file is "in the library" when a path component is the ``repro`` package
+    directory; the component after it names the subpackage.
+    """
+    parts = PurePath(path).parts
+    if "repro" not in parts:
+        return ModuleScope(in_library=False, subpackage=None, is_units_module=False)
+    idx = parts.index("repro")
+    rest = parts[idx + 1 :]
+    subpackage = rest[0] if len(rest) > 1 else None
+    is_units = rest[-2:] == ("util", "units.py") if len(rest) >= 2 else False
+    return ModuleScope(in_library=True, subpackage=subpackage, is_units_module=is_units)
+
+
+# --------------------------------------------------------------------------- #
+# helpers shared by several rules
+# --------------------------------------------------------------------------- #
+#: Legacy / global-state numpy.random attributes (QA-D002).
+_LEGACY_NP_RANDOM: Set[str] = {
+    "seed",
+    "RandomState",
+    "get_state",
+    "set_state",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "bytes",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "lognormal",
+    "exponential",
+    "poisson",
+    "binomial",
+    "beta",
+    "gamma",
+    "pareto",
+    "zipf",
+}
+
+#: Dotted call names that read a wall clock (QA-D004).
+_WALL_CLOCK_CALLS: Set[str] = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "date.today",
+    "datetime.date.today",
+}
+
+#: Numeric literals that smell like unit conversion factors (QA-U101).
+_MAGIC_UNIT_LITERALS: Set[float] = {
+    1_000.0,  # k / ms-per-s
+    1_000_000.0,  # M / 1e6
+    1_000_000_000.0,  # G / 1e9
+    125_000.0,  # Mbps -> bytes/s
+    125_000_000.0,  # Gbps -> bytes/s
+    1_024.0,  # binary k (the library is decimal; 1024 is always a mistake)
+    1_048_576.0,  # binary M
+    3_600.0,  # seconds per hour
+}
+
+#: EventQueue / Simulator internals protected by QA-S202.
+_PROTECTED_SIM_ATTRS: Set[str] = {
+    "_heap",
+    "_counter",
+    "_len_active",
+    "_now",
+    "_processed",
+    "_queue",
+}
+
+#: Attribute names treated as simulation times by QA-S201.
+_TIME_ATTRS: Set[str] = {
+    "time",
+    "now",
+    "peek_time",
+    "completed_at",
+    "decided_at",
+    "started_at",
+    "requested_at",
+    "activated_at",
+    "remainder_started_at",
+}
+
+_IDENT_SPLIT = re.compile(r"[^a-zA-Z0-9]+")
+
+
+def _name_tokens(identifier: str) -> Set[str]:
+    """Lower-case underscore/camelCase tokens of an identifier."""
+    spaced = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", identifier)
+    return {tok.lower() for tok in _IDENT_SPLIT.split(spaced) if tok}
+
+
+def _is_time_like(node: ast.expr) -> bool:
+    """Heuristic: does this expression denote a simulation time?"""
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TIME_ATTRS or "time" in _name_tokens(node.attr)
+    if isinstance(node, ast.Name):
+        tokens = _name_tokens(node.id)
+        return "time" in tokens or "now" in tokens
+    if isinstance(node, ast.Call):
+        return _is_time_like(node.func)
+    return False
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _expr_identifiers(node: ast.expr) -> Set[str]:
+    """All Name ids and Attribute attrs appearing in an expression."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            out.add(sub.attr)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# the visitor
+# --------------------------------------------------------------------------- #
+class _RuleVisitor(ast.NodeVisitor):
+    """One-pass visitor that accumulates findings for every active rule."""
+
+    def __init__(self, path: str, scope: ModuleScope):
+        self.path = path
+        self.scope = scope
+        self.findings: List[Finding] = []
+        #: Names bound to the numpy module in this file (``numpy``, ``np``).
+        self.numpy_aliases: Set[str] = set()
+        #: Names bound to numpy.random's default_rng via from-import.
+        self.default_rng_aliases: Set[str] = set()
+        #: Function-nesting depth (0 = module scope) for QA-D005.
+        self._depth = 0
+
+    # -- plumbing ------------------------------------------------------- #
+    def _active(self, code: str) -> bool:
+        return self.scope.applies(RULES[code])
+
+    def _add(self, code: str, node: ast.AST, message: str) -> None:
+        if not self._active(code):
+            return
+        if code.startswith("QA-U1") and self.scope.is_units_module:
+            return  # units.py defines the conversions; it may use raw factors
+        rule = RULES[code]
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                code=code,
+                message=message,
+                hint=rule.hint,
+            )
+        )
+
+    # -- imports (QA-D001 + alias tracking) ------------------------------ #
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self._add("QA-D001", node, "import of the stdlib `random` module")
+            if alias.name == "numpy":
+                self.numpy_aliases.add(alias.asname or "numpy")
+            if alias.name == "numpy.random":
+                self.numpy_aliases.add("numpy")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self._add("QA-D001", node, "import from the stdlib `random` module")
+        if node.module in ("numpy.random", "numpy"):
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    self.default_rng_aliases.add(alias.asname or "default_rng")
+                if node.module == "numpy.random" and alias.name in _LEGACY_NP_RANDOM:
+                    self._add(
+                        "QA-D002",
+                        node,
+                        f"import of legacy numpy.random.{alias.name}",
+                    )
+                if alias.name == "random":
+                    self.numpy_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    # -- attribute-based rules (QA-D002, QA-S202) ------------------------ #
+    def _is_np_random_attr(self, node: ast.Attribute) -> bool:
+        """True for ``<numpy alias>.random.<attr>`` chains."""
+        value = node.value
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.numpy_aliases
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in _LEGACY_NP_RANDOM and self._is_np_random_attr(node):
+            self._add(
+                "QA-D002",
+                node,
+                f"use of legacy/global numpy RNG `np.random.{node.attr}`",
+            )
+        if node.attr in _PROTECTED_SIM_ATTRS and self.scope.subpackage != "sim":
+            self._add(
+                "QA-S202",
+                node,
+                f"access to protected simulator internal `.{node.attr}` outside repro.sim",
+            )
+        self.generic_visit(node)
+
+    # -- call-based rules (QA-D003, QA-D004) ----------------------------- #
+    def _is_default_rng_call(self, node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self.default_rng_aliases:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == "default_rng":
+            return self._is_np_random_attr(func) or (
+                isinstance(func.value, ast.Name) and func.value.id in self.numpy_aliases
+            )
+        return False
+
+    def _is_generator_ctor_call(self, node: ast.Call) -> bool:
+        func = node.func
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("Generator", "RandomState")
+            and self._is_np_random_attr(func)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_converter_arg(node)
+        if self._is_default_rng_call(node) and not node.args and not node.keywords:
+            self._add(
+                "QA-D003",
+                node,
+                "argless numpy.random.default_rng() seeds from OS entropy",
+            )
+        dotted = _dotted_name(node.func)
+        if dotted is not None and dotted in _WALL_CLOCK_CALLS:
+            self._add(
+                "QA-D004",
+                node,
+                f"wall-clock call `{dotted}()` inside the simulation core",
+            )
+        self.generic_visit(node)
+
+    # -- module-level generators (QA-D005) ------------------------------- #
+    def _check_module_level_rng(self, node: ast.Assign) -> None:
+        if self._depth > 0 or not isinstance(node.value, ast.Call):
+            return
+        call = node.value
+        if self._is_default_rng_call(call) or self._is_generator_ctor_call(call):
+            self._add(
+                "QA-D005",
+                node,
+                "random Generator constructed at module scope is shared global state",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_module_level_rng(node)
+        self._check_unit_suffix_assign(node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._depth += 1  # class bodies are not module scope for QA-D005
+        self.generic_visit(node)
+        self._depth -= 1
+
+    # -- unit rules (QA-U101, QA-U102) ----------------------------------- #
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            for side in (node.left, node.right):
+                if (
+                    isinstance(side, ast.Constant)
+                    and isinstance(side.value, (int, float))
+                    and not isinstance(side.value, bool)
+                    and float(side.value) in _MAGIC_UNIT_LITERALS
+                ):
+                    self._add(
+                        "QA-U101",
+                        side,
+                        f"magic unit literal {side.value!r} in arithmetic",
+                    )
+        self.generic_visit(node)
+
+    _CONVERTERS: Dict[str, Tuple[str, str]] = {
+        # converter name -> (token the *argument* must NOT carry,
+        #                    token the *result target* must NOT carry)
+        "mbps_to_bytes_per_s": ("bytes", "mbps"),
+        "bytes_per_s_to_mbps": ("mbps", "bytes"),
+    }
+
+    @staticmethod
+    def _called_name(node: ast.Call) -> Optional[str]:
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    def _check_converter_arg(self, node: ast.Call) -> None:
+        func_name = self._called_name(node)
+        if func_name not in self._CONVERTERS:
+            return
+        bad_arg_token = self._CONVERTERS[func_name][0]
+        for arg in node.args:
+            idents = _expr_identifiers(arg)
+            tokens: Set[str] = set()
+            for ident in idents:
+                tokens |= _name_tokens(ident)
+            if bad_arg_token in tokens:
+                self._add(
+                    "QA-U102",
+                    node,
+                    f"`{func_name}` applied to a value that already looks like "
+                    f"{bad_arg_token} (argument mentions `{bad_arg_token}`)",
+                )
+                return
+
+    def _check_unit_suffix_assign(self, node: ast.Assign) -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        func_name = self._called_name(node.value)
+        if func_name not in self._CONVERTERS:
+            return
+        _, bad_target_token = self._CONVERTERS[func_name]
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if bad_target_token in _name_tokens(target.id):
+                    self._add(
+                        "QA-U102",
+                        node,
+                        f"result of `{func_name}` stored in `{target.id}`, whose "
+                        f"name claims the opposite unit ({bad_target_token})",
+                    )
+
+    # -- time equality (QA-S201) ----------------------------------------- #
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _is_time_like(left) or _is_time_like(right)
+            ):
+                self._add(
+                    "QA-S201",
+                    node,
+                    "float equality on event/simulation times",
+                )
+                break
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------------- #
+# suppression comments
+# --------------------------------------------------------------------------- #
+_SUPPRESS_RE = re.compile(r"#\s*qa:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]")
+
+
+def _suppressed_codes_by_line(source: str) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            codes = set()
+            for raw in match.group(1).split(","):
+                code = raw.strip().upper()
+                if not code:
+                    continue
+                if not code.startswith("QA-"):
+                    code = f"QA-{code}"
+                codes.add(code)
+            out[lineno] = codes
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# entry points
+# --------------------------------------------------------------------------- #
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint Python ``source``; ``path`` determines rule scoping."""
+    scope = classify_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="QA-E000",
+                message=f"syntax error: {exc.msg}",
+                hint="fix the syntax error; the file could not be linted",
+            )
+        ]
+    visitor = _RuleVisitor(path, scope)
+    visitor.visit(tree)
+    suppressed = _suppressed_codes_by_line(source)
+    findings = [
+        f
+        for f in visitor.findings
+        if f.code not in suppressed.get(f.line, set())
+    ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: str) -> List[Finding]:
+    """Lint one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=str(path))
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` (files or directories), sorted."""
+    seen: Set[str] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for f in candidates:
+            key = str(f)
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every Python file under ``paths`` and return all findings."""
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path))
+    return findings

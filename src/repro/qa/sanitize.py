@@ -1,0 +1,326 @@
+"""Runtime invariant sanitizer for the simulation stack.
+
+Opt in either per-kernel (``Simulator(sanitize=True)``) or process-wide with
+the ``REPRO_SANITIZE`` environment variable (``1`` / ``true`` / ``on``).
+When active, the event loop, the fluid transport engine and the transfer
+session call into one :class:`Sanitizer`, which validates the ``QA-R*``
+invariants of :mod:`repro.qa.rules` *read-only*: a sanitized run performs
+byte-identical simulation work, it merely observes it.
+
+A violated invariant produces a structured :class:`Violation` diagnostic and
+(by default) raises :class:`InvariantViolation` - loudly, at the first
+corrupt state, instead of letting a silent accounting bug distort the
+reproduction's headline statistics.  ``mode="collect"`` records violations
+without raising, which the self-check battery and tests use.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.qa.rules import INVARIANTS
+from repro.qa.tolerances import (
+    BYTE_CONSERVATION_SLACK,
+    CAPACITY_RTOL,
+    PROBE_OVERSHOOT_SLACK,
+    RATE_ATOL,
+)
+from repro.sim.errors import SimulationError
+
+__all__ = [
+    "Violation",
+    "InvariantViolation",
+    "Sanitizer",
+    "sanitize_enabled_from_env",
+]
+
+_ENV_VAR = "REPRO_SANITIZE"
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def sanitize_enabled_from_env(environ: Optional[Dict[str, str]] = None) -> bool:
+    """True when ``REPRO_SANITIZE`` requests process-wide sanitizing."""
+    env = os.environ if environ is None else environ
+    return env.get(_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Structured diagnostic for one violated runtime invariant."""
+
+    code: str
+    invariant: str
+    sim_time: float
+    subject: str
+    detail: str
+    measured: Optional[float] = None
+    limit: Optional[float] = None
+
+    def format(self) -> str:
+        """Human-readable multi-line rendering."""
+        head = (
+            f"{self.code} [{self.invariant}] at t={self.sim_time:.9g}: "
+            f"{self.detail}"
+        )
+        lines = [head, f"    subject: {self.subject}"]
+        if self.measured is not None or self.limit is not None:
+            lines.append(
+                f"    measured={self.measured!r} limit={self.limit!r}"
+            )
+        hint = INVARIANTS[self.code].hint if self.code in INVARIANTS else ""
+        if hint:
+            lines.append(f"    hint: {hint}")
+        return "\n".join(lines)
+
+
+class InvariantViolation(SimulationError):
+    """Raised when a runtime invariant check fails (``mode="raise"``)."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(violation.format())
+        self.violation = violation
+
+
+@dataclass
+class Sanitizer:
+    """Read-only runtime invariant checker.
+
+    Parameters
+    ----------
+    mode:
+        ``"raise"`` (default) raises :class:`InvariantViolation` at the first
+        violation; ``"collect"`` records silently in :attr:`violations`.
+    """
+
+    mode: str = "raise"
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+    _last_delivered: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("raise", "collect"):
+            raise ValueError(f"mode must be 'raise' or 'collect', got {self.mode!r}")
+
+    # ------------------------------------------------------------------ #
+    def _report(
+        self,
+        code: str,
+        sim_time: float,
+        subject: str,
+        detail: str,
+        *,
+        measured: Optional[float] = None,
+        limit: Optional[float] = None,
+    ) -> None:
+        violation = Violation(
+            code=code,
+            invariant=INVARIANTS[code].name,
+            sim_time=float(sim_time),
+            subject=subject,
+            detail=detail,
+            measured=measured,
+            limit=limit,
+        )
+        self.violations.append(violation)
+        if self.mode == "raise":
+            raise InvariantViolation(violation)
+
+    # ------------------------------------------------------------------ #
+    # QA-R001: event-time monotonicity
+    # ------------------------------------------------------------------ #
+    def check_event_time(self, now: float, event_time: float, name: str = "") -> None:
+        """The event loop is about to run an event; its time must be >= now."""
+        self.checks_run += 1
+        if event_time < now or math.isnan(event_time):
+            self._report(
+                "QA-R001",
+                now,
+                name or "<event>",
+                f"event scheduled at t={event_time!r} executed with clock at "
+                f"t={now!r} (time would move backwards)",
+                measured=event_time,
+                limit=now,
+            )
+
+    # ------------------------------------------------------------------ #
+    # QA-R002: flow byte conservation
+    # ------------------------------------------------------------------ #
+    def check_flow_progress(self, flow: Any, now: float) -> None:
+        """Delivered bytes are monotone, bounded by size; rate is sane."""
+        self.checks_run += 1
+        delivered = float(flow.delivered)
+        size = float(flow.size)
+        rate = float(flow.rate)
+        name = str(flow.name)
+        previous = self._last_delivered.get(flow.id)
+        if previous is not None and delivered < previous - BYTE_CONSERVATION_SLACK:
+            self._report(
+                "QA-R002",
+                now,
+                name,
+                f"delivered bytes decreased from {previous!r} to {delivered!r}",
+                measured=delivered,
+                limit=previous,
+            )
+        if delivered > size + BYTE_CONSERVATION_SLACK:
+            self._report(
+                "QA-R002",
+                now,
+                name,
+                f"delivered {delivered!r} bytes but only {size!r} were requested",
+                measured=delivered,
+                limit=size,
+            )
+        if rate < -RATE_ATOL or not math.isfinite(rate):
+            self._report(
+                "QA-R002",
+                now,
+                name,
+                f"flow rate {rate!r} is negative or non-finite",
+                measured=rate,
+                limit=0.0,
+            )
+        self._last_delivered[flow.id] = delivered
+
+    def forget_flow(self, flow_id: int) -> None:
+        """Drop progress tracking for a finished flow."""
+        self._last_delivered.pop(flow_id, None)
+
+    # ------------------------------------------------------------------ #
+    # QA-R003 + QA-R004: allocation validity and link capacity
+    # ------------------------------------------------------------------ #
+    def check_allocation(
+        self,
+        now: float,
+        capacities: np.ndarray,
+        incidence: np.ndarray,
+        caps: np.ndarray,
+        rates: np.ndarray,
+        link_names: Sequence[str],
+    ) -> None:
+        """Validate a freshly installed rate allocation.
+
+        QA-R004 (per-link capacity) is checked first with a precise per-link
+        diagnostic, then QA-R003 runs the full max-min post-condition
+        (feasibility + cap-respect + fairness).
+        """
+        self.checks_run += 1
+        load = incidence @ rates if incidence.size else np.zeros(len(link_names))
+        slack = CAPACITY_RTOL * np.maximum(capacities, 1.0)
+        over = np.flatnonzero(load > capacities + slack)
+        if over.size:
+            worst = int(over[np.argmax(load[over] - capacities[over])])
+            self._report(
+                "QA-R004",
+                now,
+                str(link_names[worst]),
+                f"link load {load[worst]!r} bytes/s exceeds capacity "
+                f"{capacities[worst]!r} bytes/s "
+                f"({over.size} oversubscribed link(s) total)",
+                measured=float(load[worst]),
+                limit=float(capacities[worst]),
+            )
+            return  # the fairness check would only repeat the same failure
+        # Local import: repro.tcp pulls in the fluid engine, which imports the
+        # simulator; importing it at module scope would create a cycle.
+        from repro.tcp.maxmin import verify_maxmin
+
+        if not verify_maxmin(capacities, incidence, rates, caps, rtol=CAPACITY_RTOL):
+            self._report(
+                "QA-R003",
+                now,
+                f"{rates.size} flow(s) over {len(link_names)} link(s)",
+                "installed rate vector fails the max-min fairness "
+                "post-condition (feasible but not cap-respecting or not "
+                "max-min fair)",
+            )
+
+    # ------------------------------------------------------------------ #
+    # QA-R005: probe-phase accounting
+    # ------------------------------------------------------------------ #
+    def check_probe_outcome(
+        self, outcome: Any, candidate_labels: Sequence[str]
+    ) -> None:
+        """Validate one probe round's bookkeeping."""
+        self.checks_run += 1
+        now = float(outcome.decided_at)
+        if outcome.decided_at < outcome.started_at:
+            self._report(
+                "QA-R005",
+                now,
+                "probe-phase",
+                f"probe decided at t={outcome.decided_at!r} before it started "
+                f"at t={outcome.started_at!r}",
+                measured=float(outcome.decided_at),
+                limit=float(outcome.started_at),
+            )
+        if outcome.winner.label not in set(candidate_labels):
+            self._report(
+                "QA-R005",
+                now,
+                str(outcome.winner.label),
+                f"probe winner {outcome.winner.label!r} is not among the "
+                f"candidates {list(candidate_labels)!r}",
+            )
+        budget = float(outcome.probe_bytes) + PROBE_OVERSHOOT_SLACK
+        for probe in outcome.probes:
+            moved = float(probe.transfer.flow.delivered)
+            if moved > budget:
+                self._report(
+                    "QA-R005",
+                    now,
+                    str(probe.label),
+                    f"probe moved {moved!r} bytes, exceeding the requested "
+                    f"probe size {float(outcome.probe_bytes)!r}",
+                    measured=moved,
+                    limit=budget,
+                )
+
+    def check_session_result(self, result: Any) -> None:
+        """Validate a completed session's phase ordering and sizes."""
+        self.checks_run += 1
+        now = float(result.completed_at)
+        if result.completed_at < result.requested_at:
+            self._report(
+                "QA-R005",
+                now,
+                f"{result.client}->{result.server}",
+                f"session completed at t={result.completed_at!r} before it "
+                f"was requested at t={result.requested_at!r}",
+                measured=float(result.completed_at),
+                limit=float(result.requested_at),
+            )
+        if result.remainder_started_at is not None and not (
+            result.requested_at <= result.remainder_started_at <= result.completed_at
+        ):
+            self._report(
+                "QA-R005",
+                now,
+                f"{result.client}->{result.server}",
+                f"remainder phase start t={result.remainder_started_at!r} "
+                f"lies outside the session interval "
+                f"[{result.requested_at!r}, {result.completed_at!r}]",
+                measured=float(result.remainder_started_at),
+            )
+        if result.size <= 0.0:
+            self._report(
+                "QA-R005",
+                now,
+                str(result.resource),
+                f"session recorded a non-positive transfer size {result.size!r}",
+                measured=float(result.size),
+                limit=0.0,
+            )
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """One-line status: checks run and violations found."""
+        return (
+            f"sanitizer: {self.checks_run} check(s), "
+            f"{len(self.violations)} violation(s)"
+        )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -58,7 +59,7 @@ class EventQueue:
         if not callable(callback):
             raise SchedulingError(f"callback must be callable, got {callback!r}")
         time = float(time)
-        if time != time:  # NaN guard
+        if math.isnan(time):
             raise SchedulingError("event time must not be NaN")
         seq = next(self._counter)
         event = Event(time=time, seq=seq, callback=callback, name=name)

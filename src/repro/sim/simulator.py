@@ -8,16 +8,24 @@ the simulator and schedule their own continuations.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.errors import SchedulingError, SimulationDeadlock
 from repro.sim.event_queue import Event, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.qa.sanitize import Sanitizer
 
 __all__ = ["Simulator"]
 
 
 class Simulator:
     """Discrete-event simulation kernel.
+
+    Set ``sanitize=True`` (or export ``REPRO_SANITIZE=1``) to install the
+    :mod:`repro.qa` runtime invariant sanitizer on this kernel and every
+    engine bound to it; checks are read-only, so sanitized runs produce
+    byte-identical results.
 
     Examples
     --------
@@ -26,23 +34,49 @@ class Simulator:
     >>> _ = sim.schedule_at(1.0, lambda: seen.append(sim.now))
     >>> _ = sim.schedule_after(0.5, lambda: seen.append(sim.now))
     >>> sim.run()
+    1.0
     >>> seen
     [0.5, 1.0]
     """
 
-    __slots__ = ("_queue", "_now", "_processed", "max_events")
+    __slots__ = ("_queue", "_now", "_processed", "max_events", "_sanitizer")
 
-    def __init__(self, *, start_time: float = 0.0, max_events: int = 50_000_000):
+    def __init__(
+        self,
+        *,
+        start_time: float = 0.0,
+        max_events: int = 50_000_000,
+        sanitize: Optional[bool] = None,
+        sanitizer: Optional["Sanitizer"] = None,
+    ):
         self._queue = EventQueue()
         self._now = float(start_time)
         self._processed = 0
         #: Safety valve against runaway event loops (raises if exceeded).
         self.max_events = int(max_events)
+        if sanitizer is None:
+            # Lazy imports: repro.qa is only pulled in when sanitizing, so
+            # the hot construction path stays import-light and the qa
+            # package may import the sim package freely.
+            if sanitize is None:
+                from repro.qa.sanitize import sanitize_enabled_from_env
+
+                sanitize = sanitize_enabled_from_env()
+            if sanitize:
+                from repro.qa.sanitize import Sanitizer
+
+                sanitizer = Sanitizer()
+        self._sanitizer = sanitizer
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def sanitizer(self) -> Optional["Sanitizer"]:
+        """The installed runtime invariant checker, or ``None``."""
+        return self._sanitizer
 
     @property
     def events_processed(self) -> int:
@@ -76,6 +110,8 @@ class Simulator:
         event = self._queue.pop()
         if event is None:
             return False
+        if self._sanitizer is not None:
+            self._sanitizer.check_event_time(self._now, event.time, event.name)
         # Clock only moves forward; equal-time events run in insertion order.
         self._now = event.time
         self._processed += 1

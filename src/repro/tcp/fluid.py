@@ -19,6 +19,7 @@ events.
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -115,6 +116,8 @@ class FluidNetwork:
             flow._advance(self._sim.now)
             self._active.pop(flow.id, None)
         flow._abort(self._sim.now)
+        if self._sim.sanitizer is not None:
+            self._sim.sanitizer.forget_flow(flow.id)
         self._request_tick()
 
     # ------------------------------------------------------------------ #
@@ -138,10 +141,14 @@ class FluidNetwork:
     def _tick(self) -> None:
         now = self._sim.now
         self._tick_event = None
+        sanitizer = self._sim.sanitizer
 
         # 1. Accrue bytes at the rates chosen at the previous tick.
         for flow in self._active.values():
             flow._advance(now)
+        if sanitizer is not None:
+            for flow in self._active.values():
+                sanitizer.check_flow_progress(flow, now)
 
         # 2. Detect and finalise completions; callbacks run after removal so
         #    they observe a consistent active set and may start/abort flows.
@@ -150,6 +157,8 @@ class FluidNetwork:
             del self._active[flow.id]
             flow._complete(now)
             self.completed_count += 1
+            if sanitizer is not None:
+                sanitizer.forget_flow(flow.id)
         for flow in finished:
             if flow.on_complete is not None:
                 flow.on_complete(flow)
@@ -182,6 +191,11 @@ class FluidNetwork:
                 incidence[link_index[link.name], j] = True
         caps = np.fromiter((f.cap_at(now) for f in flows), dtype=np.float64, count=n_flows)
         rates = maxmin_allocate(capacities, incidence, caps)
+        if sanitizer is not None:
+            sanitizer.check_allocation(
+                now, capacities, incidence, caps, rates,
+                [link.name for link in links],
+            )
         for flow, rate in zip(flows, rates):
             flow.rate = float(rate)
 
@@ -194,7 +208,7 @@ class FluidNetwork:
         for link in links:
             next_time = min(next_time, link.trace.next_change_after(now))
 
-        if next_time == float("inf"):
+        if math.isinf(next_time):
             raise TransferError(
                 f"transfer deadlock at t={now:.3f}: {n_flows} active flow(s) "
                 "have zero rate and no future capacity or window changes"

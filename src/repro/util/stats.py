@@ -9,7 +9,7 @@ explicitly so analysis code never has to special-case them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +22,7 @@ __all__ = [
     "fraction_below",
     "weighted_mean",
     "percentile",
+    "coefficient_of_variation",
 ]
 
 
@@ -158,6 +159,3 @@ def coefficient_of_variation(values: Sequence[float]) -> float:
     if mean == 0.0:
         return float("nan")
     return float(np.std(arr) / abs(mean))
-
-
-__all__.append("coefficient_of_variation")

@@ -21,8 +21,10 @@ __all__ = [
     "MB",
     "GB",
     "BITS_PER_BYTE",
+    "MS_PER_S",
     "mbps_to_bytes_per_s",
     "bytes_per_s_to_mbps",
+    "s_to_ms",
     "kb",
     "mb",
     "seconds_to_transfer",
@@ -38,6 +40,9 @@ MB: float = 1_000_000.0
 GB: float = 1_000_000_000.0
 
 BITS_PER_BYTE: float = 8.0
+
+#: Milliseconds in a second (display helper for latencies).
+MS_PER_S: float = 1_000.0
 
 #: Seconds in a minute / hour, for readable workload definitions.
 MINUTE: float = 60.0
@@ -59,6 +64,15 @@ def bytes_per_s_to_mbps(rate: float) -> float:
     Accepts numpy arrays as well as scalars (pure arithmetic).
     """
     return rate * (BITS_PER_BYTE / 1e6)
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds (used for human-facing latency text).
+
+    >>> s_to_ms(0.075)
+    75.0
+    """
+    return float(seconds) * MS_PER_S
 
 
 def kb(n: float) -> float:

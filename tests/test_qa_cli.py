@@ -1,0 +1,58 @@
+"""CLI tests for the `repro lint` and `repro selfcheck` subcommands."""
+
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+class TestLintCommand:
+    def test_violation_exits_one_and_prints_finding(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "QA-D001" in out and "hint:" in out
+        assert "1 finding(s) in 1 file(s)" in out
+
+    def test_no_hints_flag(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert main(["lint", "--no-hints", str(bad)]) == 1
+        assert "hint:" not in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        assert main(["lint", str(good)]) == 0
+        assert "clean: 0 findings" in capsys.readouterr().out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_directory_is_walked(self, tmp_path, capsys):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("import random\n")
+        (tmp_path / "pkg" / "b.py").write_text("from random import shuffle\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "2 finding(s) in 2 file(s)" in capsys.readouterr().out
+
+    def test_rules_catalogue(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "QA-D001" in out and "QA-R001" in out
+        assert "qa: ignore[CODE]" in out and "REPRO_SANITIZE" in out
+
+    def test_repo_tree_is_clean(self, capsys):
+        paths = [str(REPO / d) for d in ("src", "tests", "benchmarks")]
+        assert main(["lint", *paths]) == 0, capsys.readouterr().out
+
+
+class TestSelfcheckCommand:
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant checks healthy" in out
+        assert "FAIL" not in out

@@ -1,0 +1,188 @@
+"""QA-* static linter tests: every rule fires, scopes, and suppresses."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.qa.lint import Finding, classify_path, lint_paths, lint_source
+from repro.qa.rules import INVARIANTS, RULES
+
+# Representative virtual paths for each rule scope.
+SIM = "src/repro/sim/mod.py"  # library + sim-core
+NET = "src/repro/net/mod.py"  # library + sim-core
+LIB = "src/repro/analysis/mod.py"  # library, outside the sim core
+TESTS = "tests/test_mod.py"  # outside the library
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+#: (rule code, path, violating snippet). One positive case per shipped rule.
+POSITIVE_CASES = [
+    ("QA-D001", TESTS, "import random\n"),
+    ("QA-D001", LIB, "from random import shuffle\n"),
+    ("QA-D002", TESTS, "import numpy as np\nnp.random.seed(7)\n"),
+    ("QA-D002", LIB, "import numpy as np\nx = np.random.RandomState(0)\n"),
+    ("QA-D002", TESTS, "from numpy.random import RandomState\n"),
+    (
+        "QA-D003",
+        TESTS,
+        "import numpy as np\ndef f():\n    return np.random.default_rng()\n",
+    ),
+    (
+        "QA-D003",
+        LIB,
+        "from numpy.random import default_rng\ndef f():\n    return default_rng()\n",
+    ),
+    ("QA-D004", SIM, "import time\ndef f():\n    return time.time()\n"),
+    ("QA-D004", NET, "import datetime\nd = datetime.datetime.now()\n"),
+    ("QA-D005", LIB, "import numpy as np\nRNG = np.random.default_rng(7)\n"),
+    ("QA-U101", LIB, "def f(rate):\n    return rate * 8.0 / 1e6\n"),
+    ("QA-U101", NET, "def f(delay):\n    return delay * 1000.0\n"),
+    (
+        "QA-U102",
+        TESTS,
+        "from repro.util.units import mbps_to_bytes_per_s\n"
+        "def f(rate_bytes):\n    return mbps_to_bytes_per_s(rate_bytes)\n",
+    ),
+    (
+        "QA-U102",
+        LIB,
+        "from repro.util.units import mbps_to_bytes_per_s\n"
+        "cap_mbps = mbps_to_bytes_per_s(5.0)\n",
+    ),
+    ("QA-S201", LIB, "def f(ev, t_now):\n    return ev.time == t_now\n"),
+    ("QA-S201", SIM, "def f(ev):\n    return ev.time != 3.0\n"),
+    ("QA-S202", LIB, "def f(sim):\n    sim._now = 3.0\n"),
+    ("QA-S202", NET, "def f(q):\n    return q._heap[0]\n"),
+]
+
+#: (rule code that must NOT fire, path, clean snippet).
+NEGATIVE_CASES = [
+    ("QA-D001", TESTS, "from numpy import random\n"),
+    ("QA-D002", TESTS, "import numpy as np\ndef f():\n    return np.random.default_rng(3)\n"),
+    ("QA-D003", TESTS, "import numpy as np\ndef f():\n    return np.random.default_rng(42)\n"),
+    # Wall clocks are fine outside the simulation core (e.g. analysis timing).
+    ("QA-D004", LIB, "import time\ndef f():\n    return time.time()\n"),
+    ("QA-D004", TESTS, "import time\ndef f():\n    return time.time()\n"),
+    # A seeded generator inside a function is the recommended pattern.
+    (
+        "QA-D005",
+        LIB,
+        "import numpy as np\ndef f():\n    return np.random.default_rng(1)\n",
+    ),
+    # Raw factors are allowed outside the library (tests, benchmarks)...
+    ("QA-U101", TESTS, "def f(rate):\n    return rate * 1e6\n"),
+    # ...and non-magic arithmetic is always fine.
+    ("QA-U101", LIB, "def f(x):\n    return x * 2.0\n"),
+    # Matching suffixes on both sides of a converter are correct usage.
+    (
+        "QA-U102",
+        LIB,
+        "from repro.util.units import mbps_to_bytes_per_s\n"
+        "cap_bytes = mbps_to_bytes_per_s(rate_mbps)\n",
+    ),
+    ("QA-S201", LIB, "def f(ev, t_now):\n    return ev.time <= t_now\n"),
+    ("QA-S201", TESTS, "def f(ev, t_now):\n    return ev.time == t_now\n"),
+    # The kernel may touch its own internals; tests are out of scope too.
+    ("QA-S202", SIM, "def f(sim):\n    sim._now = 3.0\n"),
+    ("QA-S202", TESTS, "def f(sim):\n    sim._now = 3.0\n"),
+]
+
+
+class TestRulesFire:
+    @pytest.mark.parametrize("code,path,snippet", POSITIVE_CASES)
+    def test_positive(self, code, path, snippet):
+        found = codes(lint_source(snippet, path=path))
+        assert code in found, f"{code} did not fire on {snippet!r} at {path}"
+
+    @pytest.mark.parametrize("code,path,snippet", NEGATIVE_CASES)
+    def test_negative(self, code, path, snippet):
+        found = codes(lint_source(snippet, path=path))
+        assert code not in found, f"{code} false positive on {snippet!r} at {path}"
+
+    @pytest.mark.parametrize("code,path,snippet", POSITIVE_CASES)
+    def test_suppression_comment_silences(self, code, path, snippet):
+        findings = [f for f in lint_source(snippet, path=path) if f.code == code]
+        assert findings, "precondition: the rule must fire un-suppressed"
+        lines = snippet.splitlines()
+        target = findings[0].line - 1
+        lines[target] = f"{lines[target]}  # qa: ignore[{code}]"
+        suppressed = codes(lint_source("\n".join(lines) + "\n", path=path))
+        assert code not in suppressed
+
+    def test_suppression_is_line_scoped(self):
+        src = "import random  # qa: ignore[QA-D001]\nimport random\n"
+        findings = [f for f in lint_source(src, path=TESTS) if f.code == "QA-D001"]
+        assert [f.line for f in findings] == [2]
+
+    def test_suppression_accepts_bare_codes_and_lists(self):
+        src = (
+            "import random  # qa: ignore[D001]\n"
+            "import numpy as np\n"
+            "np.random.seed(7)  # qa: ignore[D002, QA-D001]\n"
+        )
+        assert codes(lint_source(src, path=TESTS)) == []
+
+
+class TestScoping:
+    def test_classify_library_and_subpackage(self):
+        scope = classify_path("src/repro/tcp/fluid.py")
+        assert scope.in_library and scope.subpackage == "tcp"
+        assert not scope.is_units_module
+
+    def test_classify_outside_library(self):
+        scope = classify_path("benchmarks/bench_headline_rates.py")
+        assert not scope.in_library and scope.subpackage is None
+
+    def test_units_module_exempt_from_unit_rules(self):
+        src = "def mbps_to_bytes_per_s(v):\n    return v * 125_000.0\n"
+        assert codes(lint_source(src, path="src/repro/util/units.py")) == []
+        assert "QA-U101" in codes(lint_source(src, path=LIB))
+
+
+class TestEntryPoints:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", path=LIB)
+        assert codes(findings) == ["QA-E000"]
+        assert "syntax error" in findings[0].message
+
+    def test_finding_format(self):
+        f = Finding(path="x.py", line=3, col=4, code="QA-D001",
+                    message="msg", hint="do better")
+        assert f.format() == "x.py:3:4: QA-D001 msg\n    hint: do better"
+        assert f.format(hints=False) == "x.py:3:4: QA-D001 msg"
+
+    def test_findings_sorted_by_location(self):
+        src = "import random\nimport numpy as np\nnp.random.seed(1)\n"
+        findings = lint_source(src, path=TESTS)
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestCatalogue:
+    def test_at_least_eight_rules_all_documented(self):
+        assert len(RULES) >= 8
+        for code, rule in RULES.items():
+            assert code == rule.code and code.startswith("QA-")
+            assert rule.summary and rule.hint
+            assert rule.scope in ("everywhere", "library", "sim-core")
+
+    def test_at_least_four_invariants_all_documented(self):
+        assert len(INVARIANTS) >= 4
+        for code, inv in INVARIANTS.items():
+            assert code == inv.code and code.startswith("QA-R")
+            assert inv.summary and inv.hint
+
+    def test_every_shipped_rule_has_a_positive_case(self):
+        covered = {code for code, _, _ in POSITIVE_CASES}
+        assert covered == set(RULES)
+
+
+class TestTreeIsClean:
+    def test_repo_tree_has_zero_findings(self):
+        repo = Path(__file__).resolve().parents[1]
+        paths = [str(repo / d) for d in ("src", "tests", "benchmarks", "examples")]
+        paths = [p for p in paths if Path(p).exists()]
+        findings = lint_paths(paths)
+        assert findings == [], "\n".join(f.format() for f in findings)

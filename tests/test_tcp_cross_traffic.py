@@ -61,7 +61,7 @@ class TestSource:
         net = FluidNetwork(sim)
         with pytest.raises(ValueError):
             CrossTrafficSource(
-                net, [], CrossTrafficConfig(arrival_rate=1.0), np.random.default_rng()
+                net, [], CrossTrafficConfig(arrival_rate=1.0), np.random.default_rng(0)
             )
 
     def test_background_load_slows_foreground_flow(self):

@@ -12,6 +12,10 @@ Scale knobs (environment variables):
     Repetitions per configuration for the §4 sweep (default 20; paper: 720).
 ``REPRO_BENCH_SEED``
     Root seed (default 2007).
+``REPRO_BENCH_JOBS``
+    Worker processes for campaign generation (default 1).  Campaign output
+    is byte-identical for every value (see :mod:`repro.runner`), so this is
+    purely a wall-clock knob for multi-core runners.
 
 Rendered artefacts are written to ``results/`` at the repository root.
 """
@@ -39,16 +43,23 @@ def bench_seed() -> int:
 
 
 @pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    return max(_env_int("REPRO_BENCH_JOBS", 1), 1)
+
+
+@pytest.fixture(scope="session")
 def s2_scenario(bench_seed):
     """The §2 deployment (eBay only; the paper's detailed data set)."""
     return Scenario.build(ScenarioSpec.section2(sites=("eBay",)), seed=bench_seed)
 
 
 @pytest.fixture(scope="session")
-def s2_store(s2_scenario):
+def s2_store(s2_scenario, bench_jobs):
     """The §2 campaign: all 22 clients, rotating relays."""
     reps = _env_int("REPRO_BENCH_S2_REPS", 30)
-    return Section2Study(s2_scenario, repetitions=reps).run(sites=["eBay"])
+    return Section2Study(s2_scenario, repetitions=reps).run(
+        sites=["eBay"], jobs=bench_jobs
+    )
 
 
 @pytest.fixture(scope="session")
@@ -64,18 +75,18 @@ def s4_study(s4_scenario):
 
 
 @pytest.fixture(scope="session")
-def s4_store(s4_study):
+def s4_store(s4_study, bench_jobs):
     """The §4 random-set sweep over all set sizes."""
-    return s4_study.run_random_set_sweep(SET_SIZES)
+    return s4_study.run_random_set_sweep(SET_SIZES, jobs=bench_jobs)
 
 
 @pytest.fixture(scope="session")
-def multisite_store(bench_seed):
+def multisite_store(bench_seed, bench_jobs):
     """A four-site §2 campaign (reduced client count for bench runtime)."""
     scenario = Scenario.build(ScenarioSpec.section2(), seed=bench_seed)
     reps = max(_env_int("REPRO_BENCH_S2_REPS", 30) // 3, 4)
     study = Section2Study(scenario, repetitions=reps)
-    return study.run(clients=scenario.client_names[:12])
+    return study.run(clients=scenario.client_names[:12], jobs=bench_jobs)
 
 
 @pytest.fixture(scope="session")

@@ -20,6 +20,9 @@ system on a deterministic flow-level network simulator:
     The paper's contribution: probe engine, selection session, policies.
 ``repro.workloads``
     PlanetLab catalogues, calibration, scenarios, study drivers.
+``repro.runner``
+    Campaign execution: work-unit planning, the parallel/resumable
+    executor, shard checkpoints, progress telemetry.
 ``repro.trace``
     Measurement records and storage.
 ``repro.analysis``
@@ -48,6 +51,7 @@ from repro.core import (
     UniformRandomSetPolicy,
     UtilizationWeightedPolicy,
 )
+from repro.runner import CampaignPlan, WorkUnit, execute_plan
 from repro.trace import TraceStore, TransferRecord
 from repro.workloads import (
     CalibrationParams,
@@ -70,6 +74,9 @@ __all__ = [
     "UtilizationWeightedPolicy",
     "TraceStore",
     "TransferRecord",
+    "CampaignPlan",
+    "WorkUnit",
+    "execute_plan",
     "CalibrationParams",
     "Scenario",
     "ScenarioSpec",

@@ -46,6 +46,7 @@ from repro.analysis import (
 )
 from repro.qa.lint import iter_python_files, lint_paths
 from repro.qa.rules import INVARIANTS, RULES
+from repro.runner import CheckpointError, RunnerError, UnitExecutionError
 from repro.trace.store import TraceStore
 from repro.util.tables import render_table
 from repro.workloads.experiment import Section2Study, Section4Study
@@ -95,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s2.add_argument("--clients", default=None, help="comma-separated client subset")
     s2.add_argument("--out", required=True, help="output JSONL path")
+    _add_runner_args(s2)
 
     s4 = sub.add_parser("section4", help="run the §4 random-set sweep")
     s4.add_argument("--reps", type=int, default=40, help="transfers per set size")
@@ -105,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated random-set sizes",
     )
     s4.add_argument("--out", required=True, help="output JSONL path")
+    _add_runner_args(s4)
 
     rep = sub.add_parser("report", help="render artefacts from a saved store")
     rep.add_argument("store", help="JSONL store written by section2/section4")
@@ -147,6 +150,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Campaign-runner flags shared by the section2/section4 subcommands."""
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process serial path; output is "
+        "byte-identical for every value)",
+    )
+    group.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="shard-checkpoint directory (enables incremental persistence "
+        "and --resume)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a checkpointed campaign, skipping completed units "
+        "(requires --checkpoint; refuses a mismatched campaign fingerprint)",
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flush shard files every N completed units (default 25)",
+    )
+    group.add_argument(
+        "--unit-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a unit that runs longer than this on a worker",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="print progress/rate/ETA telemetry to stderr",
+    )
+
+
 def _split_csv(value: Optional[str]) -> Optional[List[str]]:
     if value is None:
         return None
@@ -154,8 +201,52 @@ def _split_csv(value: Optional[str]) -> Optional[List[str]]:
     return items or None
 
 
+def _dedupe(kind: str, items: Optional[List[str]]) -> Optional[List[str]]:
+    """Drop duplicate entries preserving first-seen order, warning on stderr.
+
+    Duplicates in ``--sites``/``--clients`` would silently run every paired
+    measurement for the duplicated name twice (and double-count it in every
+    figure downstream).
+    """
+    if not items:
+        return items
+    seen = dict.fromkeys(items)
+    if len(seen) != len(items):
+        dropped = len(items) - len(seen)
+        print(
+            f"warning: ignoring {dropped} duplicate {kind} entr"
+            f"{'y' if dropped == 1 else 'ies'} in --{kind} "
+            f"(kept first occurrence, order preserved)",
+            file=sys.stderr,
+        )
+    return list(seen)
+
+
+def _runner_kwargs(args) -> dict:
+    if args.resume and args.checkpoint is None:
+        raise _UsageError("--resume requires --checkpoint DIR")
+    if args.jobs < 1:
+        raise _UsageError("--jobs must be >= 1")
+    kwargs = {
+        "jobs": args.jobs,
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+        "progress": args.progress,
+        "unit_timeout": args.unit_timeout,
+    }
+    if args.checkpoint_every is not None:
+        if args.checkpoint_every < 1:
+            raise _UsageError("--checkpoint-every must be >= 1")
+        kwargs["checkpoint_every"] = args.checkpoint_every
+    return kwargs
+
+
+class _UsageError(Exception):
+    """Bad flag combination; rendered to stderr with exit code 2."""
+
+
 def _cmd_section2(args) -> int:
-    sites = _split_csv(args.sites) or ["eBay"]
+    sites = _dedupe("sites", _split_csv(args.sites)) or ["eBay"]
     unknown = [s for s in sites if s not in SITES]
     if unknown:
         print(f"error: unknown sites {unknown}; choose from {list(SITES)}",
@@ -164,14 +255,14 @@ def _cmd_section2(args) -> int:
     scenario = Scenario.build(
         ScenarioSpec.section2(sites=tuple(sites)), seed=args.seed
     )
-    clients = _split_csv(args.clients)
+    clients = _dedupe("clients", _split_csv(args.clients))
     if clients:
         missing = [c for c in clients if c not in scenario.client_names]
         if missing:
             print(f"error: unknown clients {missing}", file=sys.stderr)
             return 2
     study = Section2Study(scenario, repetitions=args.reps)
-    store = study.run(sites=sites, clients=clients)
+    store = study.run(sites=sites, clients=clients, **_runner_kwargs(args))
     store.save_jsonl(args.out)
     print(f"wrote {len(store)} records to {args.out}")
     return 0
@@ -188,7 +279,7 @@ def _cmd_section4(args) -> int:
         return 2
     scenario = Scenario.build(ScenarioSpec.section4(), seed=args.seed)
     study = Section4Study(scenario, repetitions=args.reps)
-    store = study.run_random_set_sweep(set_sizes)
+    store = study.run_random_set_sweep(set_sizes, **_runner_kwargs(args))
     store.save_jsonl(args.out)
     print(f"wrote {len(store)} records to {args.out}")
     return 0
@@ -322,6 +413,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except _UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except UnitExecutionError as exc:
+        failure = exc.failure
+        print(
+            f"error: campaign aborted: unit {failure.unit_index} "
+            f"(id {failure.unit_id}) failed {failure.attempts} attempt(s)",
+            file=sys.stderr,
+        )
+        print(failure.error, file=sys.stderr)
+        return 1
+    except RunnerError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # The runner flushes its checkpoint before re-raising, so the run
+        # is resumable; tell the user how.
+        checkpoint = getattr(args, "checkpoint", None)
+        hint = (
+            f"; resume with --checkpoint {checkpoint} --resume"
+            if checkpoint
+            else ""
+        )
+        print(f"interrupted{hint}", file=sys.stderr)
+        return 130
     except BrokenPipeError:
         # Downstream closed the pipe (e.g. `repro lint | head`); exit quietly
         # like other Unix filters. Point stdout at devnull so the interpreter

@@ -1,0 +1,583 @@
+"""Campaign executor: run a plan's work units on N processes, deterministically.
+
+The executor is a classic parent/worker pool specialised for simulation
+campaigns:
+
+* **Spawn-safe workers.**  Workers are started with the ``spawn`` context
+  and rebuild their execution context (the immutable
+  :class:`~repro.workloads.scenario.Scenario`) from the plan's
+  ``(scenario_spec, seed)`` - nothing live crosses the process boundary, so
+  the pool behaves identically on fork- and spawn-default platforms.
+* **Bounded queues.**  Each worker owns a short task queue
+  (:data:`QUEUE_DEPTH`); the parent keeps them topped up and tracks the
+  in-flight units per worker, which is what makes per-unit timeouts and
+  crash recovery precise.
+* **Retry with structured failure.**  A unit that fails (exception in the
+  worker, worker crash, or timeout) is retried up to ``max_retries`` times;
+  exhaustion raises :class:`UnitExecutionError` carrying a
+  :class:`UnitFailure` (unit id, attempts, last traceback) after the
+  checkpoint has been flushed.
+* **Graceful SIGINT drain.**  Ctrl-C stops dispatch, collects any finished
+  results, flushes the checkpoint and summary, then re-raises
+  ``KeyboardInterrupt`` - an interrupted campaign resumes with ``--resume``.
+* **Deterministic output.**  Results are keyed by plan index and merged in
+  plan order (:func:`repro.runner.checkpoint.merge_completed`), so the final
+  store is byte-identical to the serial path for every ``jobs`` value.
+  Duplicate executions (a timed-out unit that finished anyway) are harmless:
+  units are pure functions of the plan, and completion is idempotent.
+
+``jobs=1`` never touches ``multiprocessing``: the same planner/checkpoint/
+retry machinery runs inline, which is both the migration path for the old
+serial API and the fast path for small campaigns.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import signal
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Deque, Dict, List, Optional, Set, TextIO, Tuple
+
+from repro.core.session import SessionConfig
+from repro.runner.checkpoint import CheckpointStore, merge_completed
+from repro.runner.plan import CampaignPlan, WorkUnit
+from repro.runner.progress import ProgressReporter, RunSummary
+from repro.trace.records import TransferRecord
+from repro.trace.store import TraceStore
+from repro.workloads.scenario import Scenario
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_MAX_RETRIES",
+    "ExecutionResult",
+    "RunnerError",
+    "UnitExecutionError",
+    "UnitFailure",
+    "execute_plan",
+    "run_unit",
+]
+
+#: Units buffered per worker so result/dispatch latency overlaps compute.
+QUEUE_DEPTH = 4
+#: Seconds the parent blocks on the result queue before re-checking workers.
+_POLL_INTERVAL = 0.1
+#: Flush the checkpoint after this many newly completed units by default.
+DEFAULT_CHECKPOINT_EVERY = 25
+#: Failed attempts tolerated per unit before the campaign aborts.
+DEFAULT_MAX_RETRIES = 2
+
+RunUnitFn = Callable[[Scenario, SessionConfig, WorkUnit], TransferRecord]
+
+
+class RunnerError(RuntimeError):
+    """The execution machinery itself failed (e.g. workers cannot boot)."""
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Structured description of a unit whose retries were exhausted."""
+
+    unit_index: int
+    unit_id: str
+    attempts: int
+    error: str
+
+    def __str__(self) -> str:
+        return (
+            f"unit {self.unit_index} (id {self.unit_id}) failed "
+            f"{self.attempts} attempt(s); last error:\n{self.error}"
+        )
+
+
+class UnitExecutionError(RuntimeError):
+    """A work unit kept failing after every allowed retry."""
+
+    def __init__(self, failure: UnitFailure):
+        super().__init__(str(failure))
+        self.failure = failure
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of :func:`execute_plan`.
+
+    ``store`` is the merged campaign store; it is ``None`` only for
+    deliberately partial runs (``max_units``), where the checkpoint holds
+    the completed prefix.
+    """
+
+    store: Optional[TraceStore]
+    summary: RunSummary
+
+
+def run_unit(
+    scenario: Scenario, config: SessionConfig, unit: WorkUnit
+) -> TransferRecord:
+    """Execute one work unit (the default unit runner, used by workers)."""
+    from repro.workloads.experiment import run_paired_transfer
+
+    record = run_paired_transfer(
+        scenario,
+        study=unit.study,
+        client=unit.client,
+        site=unit.site,
+        repetition=unit.repetition,
+        start_time=unit.start_time,
+        offered=list(unit.offered),
+        config=config,
+    )
+    if unit.set_size_label is not None:
+        record = replace(record, set_size=unit.set_size_label)
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# worker process
+# --------------------------------------------------------------------------- #
+def _worker_main(
+    worker_id: int,
+    spec: Any,
+    seed: int,
+    config: SessionConfig,
+    task_q: Any,
+    result_q: Any,
+) -> None:
+    """Worker loop: build the scenario once, then execute units until sentinel.
+
+    SIGINT is ignored so Ctrl-C is handled solely by the parent's drain
+    logic; the parent terminates workers explicitly.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        scenario = Scenario.build(spec, seed=seed)
+    except BaseException:
+        result_q.put(("boot", worker_id, -1, traceback.format_exc()))
+        return
+    while True:
+        unit = task_q.get()
+        if unit is None:
+            return
+        try:
+            record = run_unit(scenario, config, unit)
+        except BaseException:
+            result_q.put(("err", worker_id, unit.index, traceback.format_exc()))
+        else:
+            result_q.put(("ok", worker_id, unit.index, record))
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    worker_id: int
+    process: Any
+    task_q: Any
+    inflight: Deque[WorkUnit] = field(default_factory=deque)
+    head_since: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return f"worker-{self.worker_id}"
+
+
+# --------------------------------------------------------------------------- #
+# executor state
+# --------------------------------------------------------------------------- #
+class _Execution:
+    """Shared completion/retry/checkpoint bookkeeping for one invocation."""
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        *,
+        reporter: ProgressReporter,
+        ckpt: Optional[CheckpointStore],
+        checkpoint_every: int,
+        max_retries: int,
+        clock: Callable[[], float],
+        done: Dict[int, Tuple[str, TransferRecord]],
+    ):
+        self.plan = plan
+        self.reporter = reporter
+        self.ckpt = ckpt
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.max_retries = max(0, max_retries)
+        self.clock = clock
+        self.done = done
+        self.executed = 0
+        self.failed_attempts: Dict[int, int] = {}
+        self.retried_units: Set[int] = set()
+        self._since_flush = 0
+
+    def complete(self, unit: WorkUnit, record: TransferRecord, worker: str) -> None:
+        """Record a finished unit; idempotent for duplicate completions."""
+        if unit.index in self.done:
+            return
+        self.done[unit.index] = (unit.unit_id, record)
+        self.executed += 1
+        if self.ckpt is not None:
+            self.ckpt.append(unit.index, unit.unit_id, record)
+            self._since_flush += 1
+            if self._since_flush >= self.checkpoint_every:
+                self.ckpt.flush()
+                self._since_flush = 0
+        self.reporter.unit_finished(worker)
+
+    def register_failure(self, unit: WorkUnit, error: str, worker: str) -> None:
+        """Record a failed attempt; raise when the unit's retries are spent."""
+        count = self.failed_attempts.get(unit.index, 0) + 1
+        self.failed_attempts[unit.index] = count
+        retrying = count <= self.max_retries
+        self.reporter.attempt_failed(worker, unit_index=unit.index, retrying=retrying)
+        if not retrying:
+            raise UnitExecutionError(
+                UnitFailure(
+                    unit_index=unit.index,
+                    unit_id=unit.unit_id,
+                    attempts=count,
+                    error=error,
+                )
+            )
+        self.retried_units.add(unit.index)
+
+    @property
+    def total_failed_attempts(self) -> int:
+        return sum(self.failed_attempts.values())
+
+
+# --------------------------------------------------------------------------- #
+# inline backend
+# --------------------------------------------------------------------------- #
+def _run_inline(
+    state: _Execution,
+    pending: List[WorkUnit],
+    scenario: Optional[Scenario],
+    run_unit_fn: RunUnitFn,
+) -> None:
+    """Execute units in-process (``jobs=1``), sharing the retry machinery."""
+    if scenario is None:
+        scenario = Scenario.build(state.plan.scenario_spec, seed=state.plan.seed)
+    for unit in pending:
+        while True:
+            try:
+                record = run_unit_fn(scenario, state.plan.config, unit)
+            except KeyboardInterrupt:
+                raise
+            except Exception:
+                state.register_failure(unit, traceback.format_exc(), "inline")
+                continue
+            state.complete(unit, record, "inline")
+            break
+
+
+# --------------------------------------------------------------------------- #
+# multiprocessing backend
+# --------------------------------------------------------------------------- #
+def _spawn_worker(
+    ctx: Any, worker_id: int, plan: CampaignPlan, result_q: Any
+) -> _WorkerHandle:
+    task_q = ctx.Queue(maxsize=QUEUE_DEPTH)
+    process = ctx.Process(
+        target=_worker_main,
+        args=(worker_id, plan.scenario_spec, plan.seed, plan.config, task_q, result_q),
+        daemon=True,
+        name=f"repro-runner-{worker_id}",
+    )
+    process.start()
+    return _WorkerHandle(worker_id=worker_id, process=process, task_q=task_q)
+
+
+def _retire_worker(handle: _WorkerHandle) -> None:
+    handle.task_q.cancel_join_thread()
+    handle.task_q.close()
+
+
+def _shutdown_workers(workers: Dict[int, _WorkerHandle]) -> None:
+    """Best-effort orderly stop: sentinel, short join, then terminate."""
+    for handle in workers.values():
+        try:
+            handle.task_q.put_nowait(None)
+        except (queue_mod.Full, ValueError, OSError):
+            pass
+    for handle in workers.values():
+        handle.process.join(timeout=1.0)
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=1.0)
+        _retire_worker(handle)
+
+
+def _run_parallel(
+    state: _Execution,
+    pending: List[WorkUnit],
+    *,
+    jobs: int,
+    unit_timeout: Optional[float],
+) -> None:
+    """Dispatch units to a spawn pool, handling crashes, timeouts, retries."""
+    ctx = mp.get_context("spawn")
+    result_q = ctx.Queue()
+    todo: Deque[WorkUnit] = deque(pending)
+    target = len(pending)
+    next_worker_id = 0
+    workers: Dict[int, _WorkerHandle] = {}
+
+    def spawn_one() -> None:
+        nonlocal next_worker_id
+        handle = _spawn_worker(ctx, next_worker_id, state.plan, result_q)
+        handle.head_since = state.clock()
+        workers[handle.worker_id] = handle
+        next_worker_id += 1
+
+    def requeue_inflight(handle: _WorkerHandle, *, error: str) -> None:
+        """A worker died or was killed: charge the head unit, requeue the rest."""
+        inflight = list(handle.inflight)
+        handle.inflight.clear()
+        if not inflight:
+            return
+        head, rest = inflight[0], inflight[1:]
+        # Queued-but-unstarted units never ran; they go back without penalty.
+        for unit in reversed(rest):
+            todo.appendleft(unit)
+        state.register_failure(head, error, handle.name)
+        todo.appendleft(head)
+
+    for _ in range(max(1, min(jobs, len(pending)))):
+        spawn_one()
+
+    try:
+        while state.executed < target:
+            # Top up every live worker's bounded queue.
+            for handle in workers.values():
+                while (
+                    todo
+                    and handle.process.is_alive()
+                    and len(handle.inflight) < QUEUE_DEPTH
+                ):
+                    unit = todo.popleft()
+                    try:
+                        handle.task_q.put_nowait(unit)
+                    except queue_mod.Full:
+                        todo.appendleft(unit)
+                        break
+                    if not handle.inflight:
+                        handle.head_since = state.clock()
+                    handle.inflight.append(unit)
+
+            try:
+                message = result_q.get(timeout=_POLL_INTERVAL)
+            except queue_mod.Empty:
+                message = None
+
+            if message is not None:
+                kind, worker_id, index, payload = message
+                handle = workers.get(worker_id)
+                if kind == "boot":
+                    # Scenario construction is deterministic: if one worker
+                    # cannot build it, every respawn would fail the same way.
+                    raise RunnerError(
+                        f"worker-{worker_id} failed to build its scenario:\n"
+                        f"{payload}"
+                    )
+                if handle is None:
+                    # Result from a worker we already killed (e.g. timeout
+                    # fired while the unit was completing).  Completion is
+                    # idempotent, so credit successes and drop errors - the
+                    # unit was already requeued/charged when the worker died.
+                    if kind == "ok":
+                        state.complete(state.plan.units[index], payload, "stale")
+                elif kind == "ok" or kind == "err":
+                    unit = handle.inflight.popleft()
+                    if unit.index != index:  # pragma: no cover - invariant
+                        raise RunnerError(
+                            f"{handle.name} returned unit {index} but "
+                            f"{unit.index} was at the head of its queue"
+                        )
+                    handle.head_since = state.clock()
+                    if kind == "ok":
+                        state.complete(unit, payload, handle.name)
+                    else:
+                        state.register_failure(unit, payload, handle.name)
+                        todo.appendleft(unit)
+
+            now = state.clock()
+            for worker_id in list(workers):
+                handle = workers[worker_id]
+                dead = not handle.process.is_alive()
+                timed_out = (
+                    unit_timeout is not None
+                    and bool(handle.inflight)
+                    and now - handle.head_since > unit_timeout
+                )
+                if not dead and not timed_out:
+                    continue
+                if not dead:
+                    handle.process.terminate()
+                cause = (
+                    f"unit exceeded the {unit_timeout}s timeout on {handle.name}"
+                    if timed_out and not dead
+                    else f"{handle.name} exited with code "
+                    f"{handle.process.exitcode} mid-campaign"
+                )
+                handle.process.join(timeout=2.0)
+                del workers[worker_id]
+                _retire_worker(handle)
+                requeue_inflight(handle, error=cause)
+                if state.executed < target:
+                    spawn_one()
+
+            if state.executed < target and not workers:  # pragma: no cover
+                raise RunnerError(
+                    "no live workers remain but the campaign is incomplete"
+                )
+    except KeyboardInterrupt:
+        # Graceful drain: credit anything that already finished, then stop.
+        while True:
+            try:
+                message = result_q.get_nowait()
+            except queue_mod.Empty:
+                break
+            kind, _worker_id, index, payload = message
+            if kind == "ok":
+                state.complete(state.plan.units[index], payload, "drain")
+        raise
+    finally:
+        _shutdown_workers(workers)
+        result_q.cancel_join_thread()
+        result_q.close()
+
+
+# --------------------------------------------------------------------------- #
+# public entry point
+# --------------------------------------------------------------------------- #
+def execute_plan(
+    plan: CampaignPlan,
+    *,
+    jobs: int = 1,
+    scenario: Optional[Scenario] = None,
+    checkpoint: Optional[Any] = None,
+    resume: bool = False,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    progress: bool = False,
+    progress_stream: Optional[TextIO] = None,
+    unit_timeout: Optional[float] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    max_units: Optional[int] = None,
+    run_unit_fn: Optional[RunUnitFn] = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> ExecutionResult:
+    """Execute a campaign plan and return the merged store plus a summary.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs inline in this process
+        through the identical planner/checkpoint/retry path.
+    scenario:
+        Pre-built scenario to reuse on the inline path (workers always
+        rebuild from the plan).  Must match the plan's spec and seed.
+    checkpoint / resume / checkpoint_every:
+        Shard-store directory, resume switch, and flush granularity; see
+        :mod:`repro.runner.checkpoint`.
+    progress / progress_stream:
+        Stderr telemetry (off by default; the summary is always produced).
+    unit_timeout:
+        Seconds a single unit may run on a worker before that worker is
+        killed and the unit retried (parallel path only).
+    max_retries:
+        Failed attempts tolerated per unit before
+        :class:`UnitExecutionError` aborts the campaign.
+    max_units:
+        Execute at most this many *new* units, then stop with a flushed
+        checkpoint (``store=None`` in the result).  Useful for smoke tests
+        and budgeted runs; resuming later completes the campaign.
+    run_unit_fn:
+        Test hook replacing :func:`run_unit` on the inline path.
+    clock:
+        Monotonic clock used for telemetry and timeouts only; measurement
+        results never depend on it.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if run_unit_fn is not None and jobs > 1:
+        raise ValueError("run_unit_fn is an inline-only test hook; use jobs=1")
+    if scenario is not None and (
+        scenario.spec != plan.scenario_spec
+        or scenario.bank.root_seed != plan.seed
+    ):
+        raise ValueError("provided scenario does not match the plan's spec/seed")
+
+    ckpt: Optional[CheckpointStore] = None
+    done: Dict[int, Tuple[str, TransferRecord]] = {}
+    if checkpoint is not None:
+        ckpt = CheckpointStore.open_or_create(checkpoint, plan, resume=resume)
+        done = ckpt.completed_units()
+        for index, (unit_id, _record) in done.items():
+            if index >= len(plan) or plan.units[index].unit_id != unit_id:
+                raise RunnerError(
+                    f"checkpoint unit {index} does not belong to this plan "
+                    "despite a matching fingerprint; checkpoint is corrupt"
+                )
+    skipped = len(done)
+
+    pending = [u for u in plan.units if u.index not in done]
+    if max_units is not None:
+        pending = pending[: max(0, max_units)]
+
+    reporter = ProgressReporter(
+        total=len(plan),
+        skipped=skipped,
+        clock=clock,
+        stream=progress_stream,
+        enabled=progress,
+        label=plan.study,
+    )
+    state = _Execution(
+        plan,
+        reporter=reporter,
+        ckpt=ckpt,
+        checkpoint_every=checkpoint_every,
+        max_retries=max_retries,
+        clock=clock,
+        done=done,
+    )
+
+    started = clock()
+    interrupted = False
+    try:
+        reporter.start()
+        if pending:
+            if jobs == 1:
+                _run_inline(state, pending, scenario, run_unit_fn or run_unit)
+            else:
+                _run_parallel(state, pending, jobs=jobs, unit_timeout=unit_timeout)
+    except KeyboardInterrupt:
+        interrupted = True
+        raise
+    finally:
+        reporter.finish()
+        summary = RunSummary(
+            study=plan.study,
+            fingerprint=ckpt.fingerprint if ckpt is not None else plan.fingerprint(),
+            total_units=len(plan),
+            skipped_units=skipped,
+            executed_units=state.executed,
+            failed_attempts=state.total_failed_attempts,
+            retried_units=len(state.retried_units),
+            jobs=jobs,
+            wall_seconds=clock() - started,
+            interrupted=interrupted,
+            worker_failures=dict(reporter.worker_failures),
+        )
+        if ckpt is not None:
+            ckpt.write_summary(summary.to_dict())
+            ckpt.close()
+
+    store: Optional[TraceStore] = None
+    if len(done) == len(plan):
+        store = merge_completed(plan, done)
+    return ExecutionResult(store=store, summary=summary)

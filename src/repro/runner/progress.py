@@ -1,0 +1,185 @@
+"""Campaign progress telemetry: stderr reporting + machine-readable summary.
+
+The reporter lives entirely at the execution edge: it observes unit
+completions and renders ``done/total | rate | eta`` lines, but nothing it
+measures can flow back into the measurements (workers never see it, and the
+merge order is fixed by the plan).  The clock is injected so tests can drive
+it deterministically; the real executor passes ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, TextIO
+
+__all__ = ["ProgressReporter", "RunSummary"]
+
+#: Seconds between stderr updates on a tty; non-tty streams (CI logs) are
+#: additionally throttled to 10-percent steps so logs stay readable.
+_TTY_INTERVAL = 0.5
+_PERCENT_STEP = 10
+
+
+@dataclass
+class RunSummary:
+    """Machine-readable outcome of one executor invocation."""
+
+    study: str
+    fingerprint: str
+    total_units: int
+    skipped_units: int
+    executed_units: int
+    failed_attempts: int
+    retried_units: int
+    jobs: int
+    wall_seconds: float
+    interrupted: bool = False
+    worker_failures: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def completed_units(self) -> int:
+        return self.skipped_units + self.executed_units
+
+    @property
+    def units_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.executed_units / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "study": self.study,
+            "fingerprint": self.fingerprint,
+            "total_units": self.total_units,
+            "completed_units": self.completed_units,
+            "skipped_units": self.skipped_units,
+            "executed_units": self.executed_units,
+            "failed_attempts": self.failed_attempts,
+            "retried_units": self.retried_units,
+            "jobs": self.jobs,
+            "wall_seconds": self.wall_seconds,
+            "units_per_second": self.units_per_second,
+            "interrupted": self.interrupted,
+            "worker_failures": dict(self.worker_failures),
+        }
+
+
+class ProgressReporter:
+    """Renders campaign progress to a stream (stderr by default).
+
+    Parameters
+    ----------
+    total:
+        Units in the plan.
+    skipped:
+        Units already satisfied by a resumed checkpoint.
+    clock:
+        Monotonic-seconds callable; injected for testability.
+    stream:
+        Defaults to ``sys.stderr``.
+    enabled:
+        When False every call is a no-op (the executor still builds the
+        :class:`RunSummary`).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        skipped: int = 0,
+        clock: Callable[[], float],
+        stream: Optional[TextIO] = None,
+        enabled: bool = True,
+        label: str = "campaign",
+    ):
+        self.total = total
+        self.skipped = skipped
+        self.done = skipped
+        self.failed_attempts = 0
+        self.worker_failures: Dict[str, int] = {}
+        self._clock = clock
+        self._stream = stream if stream is not None else sys.stderr
+        self._enabled = enabled
+        self._label = label
+        self._started_at = clock()
+        self._last_emit = float("-inf")
+        self._last_percent = -1
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        if self.skipped:
+            self._write(
+                f"[{self._label}] resuming: {self.skipped}/{self.total} units "
+                "already checkpointed\n"
+            )
+        self._emit(force=True)
+
+    def unit_finished(self, worker: str) -> None:
+        """One unit completed successfully on ``worker``."""
+        self.done += 1
+        self._emit(force=self.done >= self.total)
+
+    def attempt_failed(self, worker: str, *, unit_index: int, retrying: bool) -> None:
+        """One execution attempt failed (the unit may be retried)."""
+        self.failed_attempts += 1
+        self.worker_failures[worker] = self.worker_failures.get(worker, 0) + 1
+        verb = "retrying" if retrying else "giving up"
+        self._write(
+            f"[{self._label}] unit {unit_index} failed on {worker} "
+            f"({self.worker_failures[worker]} failure(s) there); {verb}\n"
+        )
+
+    def note(self, message: str) -> None:
+        self._write(f"[{self._label}] {message}\n")
+
+    def finish(self) -> None:
+        self._emit(force=True)
+        if self._tty and self._enabled:
+            self._stream.write("\n")
+            self._stream.flush()
+
+    # ------------------------------------------------------------------ #
+    def _emit(self, *, force: bool = False) -> None:
+        if not self._enabled:
+            return
+        now = self._clock()
+        percent = int(100 * self.done / self.total) if self.total else 100
+        if not force:
+            if self._tty:
+                if now - self._last_emit < _TTY_INTERVAL:
+                    return
+            elif percent < self._last_percent + _PERCENT_STEP:
+                return
+        self._last_emit = now
+        self._last_percent = percent
+        elapsed = max(now - self._started_at, 1e-9)
+        executed = self.done - self.skipped
+        rate = executed / elapsed
+        remaining = self.total - self.done
+        if rate > 0.0 and remaining > 0:
+            eta = f"{remaining / rate:.0f}s"
+        elif remaining == 0:
+            eta = "done"
+        else:
+            eta = "?"
+        failures = (
+            f" | failures {self.failed_attempts}" if self.failed_attempts else ""
+        )
+        line = (
+            f"[{self._label}] {self.done}/{self.total} units ({percent}%)"
+            f" | {rate:.1f} units/s | eta {eta}{failures}"
+        )
+        end = "\r" if self._tty else "\n"
+        self._stream.write(line + end)
+        self._stream.flush()
+
+    def _write(self, text: str) -> None:
+        if not self._enabled:
+            return
+        if self._tty:
+            # Clear the in-place progress line before a full-line message.
+            self._stream.write("\x1b[2K\r")
+        self._stream.write(text)
+        self._stream.flush()

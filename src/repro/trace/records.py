@@ -108,6 +108,25 @@ class TransferRecord:
             (self.direct_throughput - self.selected_throughput) / self.selected_throughput
         )
 
+    @property
+    def sort_key(self) -> Tuple:
+        """Stable total-order key for merging stores deterministically.
+
+        Orders by campaign coordinates first (study, client, site, set
+        size, repetition, schedule slot) and then by the offered set, so
+        any partition of a campaign into shards concatenates back to the
+        same sequence regardless of shard boundaries or arrival order.
+        """
+        return (
+            self.study,
+            self.client,
+            self.site,
+            self.set_size,
+            self.repetition,
+            self.start_time,
+            self.offered,
+        )
+
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
         """Serialise to plain JSON-compatible types."""

@@ -94,12 +94,35 @@ class TraceStore:
         return groups
 
     # ------------------------------------------------------------------ #
+    # merging
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def merge(cls, stores: Iterable["TraceStore"]) -> "TraceStore":
+        """Combine stores into one, ordered by the records' stable sort key.
+
+        Because :attr:`TransferRecord.sort_key` is a total order over a
+        campaign's coordinates, merging the same records partitioned any
+        way (per-shard outputs, per-client stores, resumed fragments)
+        yields an identical sequence - the property the campaign runner's
+        shard merge relies on.  Duplicate records are kept; deduplicate
+        upstream if shards may overlap.
+        """
+        records = [r for store in stores for r in store]
+        records.sort(key=lambda r: r.sort_key)
+        return cls(records)
+
+    # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
-    def save_jsonl(self, path: PathLike) -> None:
-        """Write one JSON object per line."""
+    def save_jsonl(self, path: PathLike, *, append: bool = False) -> None:
+        """Write one JSON object per line.
+
+        ``append=True`` adds to an existing file instead of truncating -
+        the idiom for accumulating shard outputs into one store file
+        (pair with :meth:`merge` / a stable sort for determinism).
+        """
         p = Path(path)
-        with p.open("w", encoding="utf-8") as fh:
+        with p.open("a" if append else "w", encoding="utf-8") as fh:
             for r in self._records:
                 fh.write(json.dumps(r.to_dict(), sort_keys=True))
                 fh.write("\n")

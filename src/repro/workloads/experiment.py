@@ -22,11 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.policy import SelectionPolicy
 from repro.core.probe import ProbeMode
-from repro.core.random_set import UniformRandomSetPolicy
 from repro.core.session import SessionConfig
 from repro.http.transfer import TcpParams
 from repro.trace.records import TransferRecord
@@ -204,39 +201,70 @@ class Section2Study:
 
     def relay_rotation(self, client: str) -> List[str]:
         """The seeded per-client order in which relays take the indirect path."""
-        relays = list(self.scenario.relay_names)
-        rng = self.scenario.bank.generator("rotation", client)
-        rng.shuffle(relays)
-        return relays
+        from repro.runner.plan import section2_relay_rotation
+
+        return section2_relay_rotation(self.scenario, client)
+
+    def plan(
+        self,
+        *,
+        sites: Optional[Sequence[str]] = None,
+        clients: Optional[Sequence[str]] = None,
+    ):
+        """Decompose the campaign into a deterministic work-unit plan."""
+        from repro.runner.plan import plan_section2
+
+        return plan_section2(
+            self.scenario,
+            repetitions=self.repetitions,
+            interval=self.interval,
+            config=self.config,
+            sites=sites,
+            clients=clients,
+        )
 
     def run(
         self,
         *,
         sites: Optional[Sequence[str]] = None,
         clients: Optional[Sequence[str]] = None,
+        jobs: int = 1,
+        checkpoint=None,
+        resume: bool = False,
+        checkpoint_every: Optional[int] = None,
+        progress: bool = False,
+        unit_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> TraceStore:
-        """Run the campaign and return all paired records."""
-        sites = list(sites) if sites is not None else self.scenario.site_names
-        clients = list(clients) if clients is not None else self.scenario.client_names
-        store = TraceStore()
-        for client in clients:
-            rotation = self.relay_rotation(client)
-            for site in sites:
-                for j in range(self.repetitions):
-                    relay = rotation[j % len(rotation)]
-                    store.append(
-                        run_paired_transfer(
-                            self.scenario,
-                            study="section2",
-                            client=client,
-                            site=site,
-                            repetition=j,
-                            start_time=j * self.interval,
-                            offered=[relay],
-                            config=self.config,
-                        )
-                    )
-        return store
+        """Run the campaign and return all paired records.
+
+        Every execution goes through the campaign runner
+        (:mod:`repro.runner`): ``jobs=1`` is the serial path, larger values
+        fan the independent paired measurements out across processes with
+        byte-identical output.  ``checkpoint``/``resume`` enable incremental
+        shard persistence (see :mod:`repro.runner.checkpoint`).
+        """
+        from repro import runner
+
+        result = runner.execute_plan(
+            self.plan(sites=sites, clients=clients),
+            scenario=self.scenario,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            checkpoint_every=(
+                checkpoint_every
+                if checkpoint_every is not None
+                else runner.DEFAULT_CHECKPOINT_EVERY
+            ),
+            progress=progress,
+            unit_timeout=unit_timeout,
+            max_retries=(
+                max_retries if max_retries is not None else runner.DEFAULT_MAX_RETRIES
+            ),
+        )
+        assert result.store is not None  # full plan: merge cannot be partial
+        return result.store
 
 
 @dataclass
@@ -281,13 +309,43 @@ class Section4Study:
         site: str = "eBay",
         clients: Optional[Sequence[str]] = None,
         set_size_label: Optional[int] = None,
+        jobs: int = 1,
     ) -> TraceStore:
         """Run one policy for every client; returns all paired records.
 
         ``set_size_label`` overrides the recorded ``set_size`` (useful when a
         policy's nominal k differs from the offered count); by default the
         actual offered-set size is recorded.
+
+        Stateless policies (those that never override
+        :meth:`~repro.core.policy.SelectionPolicy.observe`) are decomposed
+        into a work-unit plan and may run on ``jobs`` processes; adaptive
+        policies form a sequential chain and only support ``jobs=1``.
         """
+        from repro.runner.plan import plan_section4_policy, policy_is_stateless
+
+        if policy_is_stateless(policy):
+            from repro.runner.pool import execute_plan
+
+            plan = plan_section4_policy(
+                self.scenario,
+                policy,
+                repetitions=self.repetitions,
+                interval=self.interval,
+                config=self.config,
+                study=study,
+                site=site,
+                clients=clients,
+                set_size_label=set_size_label,
+            )
+            result = execute_plan(plan, scenario=self.scenario, jobs=jobs)
+            assert result.store is not None
+            return result.store
+        if jobs != 1:
+            raise ValueError(
+                f"policy {policy.name!r} adapts to feedback; its campaign is "
+                "sequential and cannot run with jobs > 1"
+            )
         clients = list(clients) if clients is not None else self.scenario.client_names
         full_set = self.scenario.relay_names
         store = TraceStore()
@@ -321,21 +379,65 @@ class Section4Study:
                 store.append(record)
         return store
 
+    def plan_random_set_sweep(
+        self,
+        k_values: Iterable[int],
+        *,
+        site: str = "eBay",
+        clients: Optional[Sequence[str]] = None,
+    ):
+        """Decompose the Fig. 6 sweep into a deterministic work-unit plan."""
+        from repro.runner.plan import plan_section4_sweep
+
+        return plan_section4_sweep(
+            self.scenario,
+            k_values,
+            repetitions=self.repetitions,
+            interval=self.interval,
+            config=self.config,
+            site=site,
+            clients=clients,
+        )
+
     def run_random_set_sweep(
         self,
         k_values: Iterable[int],
         *,
         site: str = "eBay",
         clients: Optional[Sequence[str]] = None,
+        jobs: int = 1,
+        checkpoint=None,
+        resume: bool = False,
+        checkpoint_every: Optional[int] = None,
+        progress: bool = False,
+        unit_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
     ) -> TraceStore:
-        """The paper's Fig. 6 sweep: uniform random sets of each size k."""
-        store = TraceStore()
-        for k in k_values:
-            sub = self.run_policy(
-                UniformRandomSetPolicy(k),
-                study="section4",
-                site=site,
-                clients=clients,
-            )
-            store.extend(sub)
-        return store
+        """The paper's Fig. 6 sweep: uniform random sets of each size k.
+
+        Runs through the campaign runner; see :meth:`Section2Study.run` for
+        the execution keywords.  The candidate sets are pre-drawn by the
+        planner with the serial draw order, so output is byte-identical for
+        every ``jobs`` value.
+        """
+        from repro import runner
+
+        result = runner.execute_plan(
+            self.plan_random_set_sweep(k_values, site=site, clients=clients),
+            scenario=self.scenario,
+            jobs=jobs,
+            checkpoint=checkpoint,
+            resume=resume,
+            checkpoint_every=(
+                checkpoint_every
+                if checkpoint_every is not None
+                else runner.DEFAULT_CHECKPOINT_EVERY
+            ),
+            progress=progress,
+            unit_timeout=unit_timeout,
+            max_retries=(
+                max_retries if max_retries is not None else runner.DEFAULT_MAX_RETRIES
+            ),
+        )
+        assert result.store is not None
+        return result.store

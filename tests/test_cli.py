@@ -71,6 +71,140 @@ class TestSection2Command:
         assert rc == 2
 
 
+class TestDedupe:
+    def test_duplicate_clients_warned_and_dropped(self, tmp_path, capsys):
+        out = tmp_path / "s2.jsonl"
+        rc = main(
+            [
+                "section2",
+                "--reps",
+                "2",
+                "--clients",
+                "Italy,Sweden,Italy",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "ignoring 1 duplicate clients entry" in err
+        assert "order preserved" in err
+        from repro.trace.store import TraceStore
+
+        store = TraceStore.load_jsonl(out)
+        assert len(store) == 4  # Italy ran once, not twice
+        assert store.unique("client") == ["Italy", "Sweden"]
+
+    def test_duplicate_sites_warned(self, tmp_path, capsys):
+        rc = main(
+            [
+                "section2",
+                "--reps",
+                "1",
+                "--sites",
+                "eBay,eBay",
+                "--clients",
+                "Italy",
+                "--out",
+                str(tmp_path / "s2.jsonl"),
+            ]
+        )
+        assert rc == 0
+        assert "duplicate sites entry" in capsys.readouterr().err
+
+
+class TestRunnerFlags:
+    def test_resume_requires_checkpoint(self, tmp_path, capsys):
+        rc = main(
+            ["section2", "--resume", "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert rc == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self, tmp_path, capsys):
+        rc = main(
+            ["section2", "--jobs", "0", "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert rc == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
+
+    def test_checkpoint_every_validated(self, tmp_path, capsys):
+        rc = main(
+            [
+                "section2",
+                "--checkpoint-every",
+                "0",
+                "--out",
+                str(tmp_path / "x.jsonl"),
+            ]
+        )
+        assert rc == 2
+        assert "--checkpoint-every" in capsys.readouterr().err
+
+    def _run(self, tmp_path, *extra):
+        return main(
+            [
+                "section2",
+                "--reps",
+                "2",
+                "--clients",
+                "Italy,Sweden",
+                "--checkpoint",
+                str(tmp_path / "ck"),
+                "--out",
+                str(tmp_path / "out.jsonl"),
+                *extra,
+            ]
+        )
+
+    def test_checkpoint_exists_without_resume_exits_2(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        rc = self._run(tmp_path)
+        assert rc == 2
+        assert "already holds a campaign checkpoint" in capsys.readouterr().err
+
+    def test_resume_completed_campaign_rewrites_store(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        first = (tmp_path / "out.jsonl").read_bytes()
+        assert self._run(tmp_path, "--resume") == 0
+        assert (tmp_path / "out.jsonl").read_bytes() == first
+
+    def test_resume_fingerprint_mismatch_exits_2(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        rc = main(
+            [
+                "section2",
+                "--reps",
+                "3",  # different unit stream than the checkpoint
+                "--clients",
+                "Italy,Sweden",
+                "--checkpoint",
+                str(tmp_path / "ck"),
+                "--resume",
+                "--out",
+                str(tmp_path / "out.jsonl"),
+            ]
+        )
+        assert rc == 2
+        assert "refusing to mix" in capsys.readouterr().err
+
+    def test_progress_flag_prints_telemetry(self, tmp_path, capsys):
+        rc = main(
+            [
+                "section2",
+                "--reps",
+                "1",
+                "--clients",
+                "Italy",
+                "--progress",
+                "--out",
+                str(tmp_path / "s2.jsonl"),
+            ]
+        )
+        assert rc == 0
+        assert "units/s" in capsys.readouterr().err
+
+
 class TestSection4Command:
     def test_small_sweep(self, tmp_path):
         out = tmp_path / "s4.jsonl"

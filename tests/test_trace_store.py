@@ -122,6 +122,48 @@ class TestQuerying:
         assert len(groups["Italy"]) == 2
 
 
+class TestSortKeyAndMerge:
+    def campaign(self):
+        """Records covering every sort-key coordinate, in canonical order."""
+        rows = []
+        for client in ("Italy", "Sweden"):
+            for size in (1, 2):
+                for rep in (0, 1):
+                    rows.append(
+                        record(
+                            client=client,
+                            set_size=size,
+                            repetition=rep,
+                            start_time=rep * 360.0,
+                            offered=("Texas", "Utah")[:size],
+                            selected_via="Texas",
+                        )
+                    )
+        return rows
+
+    def test_sort_key_orders_campaign_coordinates(self):
+        rows = self.campaign()
+        assert sorted(rows, key=lambda r: r.sort_key) == rows
+
+    def test_merge_is_partition_invariant(self):
+        """Any split of a campaign into sub-stores merges back identically."""
+        rows = self.campaign()
+        partitions = [
+            [rows[:3], rows[3:]],
+            [rows[::2], rows[1::2]],
+            [list(reversed(rows)), []],
+            [[r] for r in reversed(rows)],
+        ]
+        for parts in partitions:
+            merged = TraceStore.merge(TraceStore(p) for p in parts)
+            assert merged.records == rows
+
+    def test_merge_keeps_duplicates(self):
+        r = record()
+        merged = TraceStore.merge([TraceStore([r]), TraceStore([r])])
+        assert len(merged) == 2
+
+
 class TestPersistence:
     def test_jsonl_round_trip(self, tmp_path):
         s = TraceStore([record(repetition=i) for i in range(5)])
@@ -154,3 +196,20 @@ class TestPersistence:
         path = tmp_path / "t.jsonl"
         s.save_jsonl(path)
         assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_jsonl_append_accumulates_shards(self, tmp_path):
+        """append=True + a final merge equals saving the whole store at once."""
+        rows = [record(repetition=i) for i in range(6)]
+        path = tmp_path / "acc.jsonl"
+        TraceStore(rows[4:]).save_jsonl(path)
+        TraceStore(rows[:2]).save_jsonl(path, append=True)
+        TraceStore(rows[2:4]).save_jsonl(path, append=True)
+        merged = TraceStore.merge([TraceStore.load_jsonl(path)])
+        assert merged.records == rows
+
+    def test_jsonl_default_truncates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        TraceStore([record(repetition=0)]).save_jsonl(path)
+        TraceStore([record(repetition=1)]).save_jsonl(path)
+        loaded = TraceStore.load_jsonl(path)
+        assert [r.repetition for r in loaded] == [1]

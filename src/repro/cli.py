@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``):
     repro lint src tests benchmarks                     # QA-* static linter
     repro lint --rules                                  # rule catalogue
     repro selfcheck                                     # sanitizer battery
+    repro perf --out BENCH_engine.json                  # engine benchmarks
+    repro perf --quick --baseline BENCH_engine.json     # regression check
 """
 
 from __future__ import annotations
@@ -146,6 +148,41 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "selfcheck",
         help="prove every runtime invariant check fires (sanitizer battery)",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="run engine hot-path benchmarks (optimised vs seed engine path)",
+    )
+    perf.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workloads for CI smoke runs (noisier numbers)",
+    )
+    perf.add_argument(
+        "--only",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated bench subset (see repro.perf.BENCHES)",
+    )
+    perf.add_argument(
+        "--out",
+        default="BENCH_engine.json",
+        metavar="FILE",
+        help="write the JSON report here (default: BENCH_engine.json)",
+    )
+    perf.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare against a stored report; exit 1 on regression",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="relative slowdown counted as a regression (default 0.25)",
     )
     return parser
 
@@ -391,6 +428,56 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    # Imported lazily: the perf package pulls in the whole simulator stack.
+    from repro.perf import BENCHES, BenchReport, run_benches
+    from repro.perf.report import (
+        DEFAULT_TOLERANCE,
+        compare_reports,
+        format_comparison,
+        format_report,
+        load_report,
+    )
+
+    names = _split_csv(args.only)
+    if names:
+        unknown = [n for n in names if n not in BENCHES]
+        if unknown:
+            raise _UsageError(
+                f"unknown bench(es) {unknown}; choose from {list(BENCHES)}"
+            )
+    tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+    if tolerance < 0.0:
+        raise _UsageError("--tolerance must be >= 0")
+
+    stored = None
+    if args.baseline is not None:
+        try:
+            stored = load_report(args.baseline)
+        except FileNotFoundError:
+            print(f"error: baseline {args.baseline!r} not found", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    def progress(name: str) -> None:
+        print(f"running {name} ...", file=sys.stderr)
+
+    results = run_benches(names, quick=args.quick, progress=progress)
+    report = BenchReport.from_results(results, quick=args.quick)
+    print(format_report(report))
+    report.save(args.out)
+    print(f"wrote {args.out}")
+
+    if stored is None:
+        return 0
+    comparisons = compare_reports(report, stored, tolerance=tolerance)
+    print()
+    print(format_comparison(comparisons, tolerance=tolerance))
+    return 1 if any(c.regressed for c in comparisons) else 0
+
+
 def _cmd_selfcheck(_args) -> int:
     # Imported lazily: selfcheck pulls in the whole simulator stack.
     from repro.qa.selfcheck import render_results, run_selfcheck
@@ -410,6 +497,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "catalog": _cmd_catalog,
         "lint": _cmd_lint,
         "selfcheck": _cmd_selfcheck,
+        "perf": _cmd_perf,
     }
     try:
         return handlers[args.command](args)

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.net.trace import CapacityTrace
+from repro.net.trace import CapacityTrace, TraceCursor
 from repro.util.units import s_to_ms
 from repro.util.validation import check_non_negative
 
@@ -31,7 +31,11 @@ class Link:
     ----------
     name:
         Unique identifier, conventionally ``"src->dst"`` or
-        ``"access:Node"``.
+        ``"access:Node"``.  Equality and hashing use the name, so two
+        ``Link`` objects sharing a name are treated as the *same* capacity
+        constraint; the transport engine raises if distinct objects with the
+        same name disagree on their capacity trace (a silent merge would
+        drop a constraint).
     src, dst:
         Endpoint node names.  Access links use the node name for both.
     trace:
@@ -56,6 +60,14 @@ class Link:
     def capacity_at(self, t: float) -> float:
         """Available capacity (bytes/second) at time ``t``."""
         return self.trace.value_at(t)
+
+    def capacity_cursor(self) -> TraceCursor:
+        """A monotone query cursor over this link's capacity trace.
+
+        Amortised-O(1) for the non-decreasing query times of a simulation
+        consumer; see :class:`~repro.net.trace.TraceCursor`.
+        """
+        return TraceCursor(self.trace)
 
     def with_trace(self, trace: CapacityTrace) -> "Link":
         """A copy of this link with a different capacity trace."""

@@ -17,13 +17,13 @@ compiled to traces ahead of simulation, which gives us:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.util.validation import check_non_negative, check_same_length, check_sorted
 
-__all__ = ["CapacityTrace"]
+__all__ = ["CapacityTrace", "TraceCursor"]
 
 
 class CapacityTrace:
@@ -37,7 +37,7 @@ class CapacityTrace:
         Capacity (bytes/second) on each piece; same length as ``times``.
     """
 
-    __slots__ = ("_times", "_values", "_cum")
+    __slots__ = ("_times", "_values", "_cum", "_times_list", "_values_list")
 
     def __init__(self, times: Sequence[float], values: Sequence[float]):
         t = check_sorted(times, "times")
@@ -56,6 +56,10 @@ class CapacityTrace:
             keep[-1] = True
             t = t[keep]
             v = v[keep]
+        self._finalize(t, v)
+
+    def _finalize(self, t: np.ndarray, v: np.ndarray) -> None:
+        """Install validated breakpoint arrays and derived state."""
         self._times = t
         self._values = v
         self._times.setflags(write=False)
@@ -64,6 +68,34 @@ class CapacityTrace:
         seg = np.diff(t) * v[:-1]
         self._cum = np.concatenate(([0.0], np.cumsum(seg)))
         self._cum.setflags(write=False)
+        # Python-scalar mirrors of the arrays, materialised lazily for the
+        # cursor fast path (scalar list indexing beats numpy scalar indexing
+        # by ~5x and the lists are shared by every cursor over this trace).
+        self._times_list: Optional[List[float]] = None
+        self._values_list: Optional[List[float]] = None
+
+    @classmethod
+    def _trusted(cls, times: np.ndarray, values: np.ndarray) -> "CapacityTrace":
+        """Internal constructor for inputs that already satisfy the trace
+        invariants (float64, strictly increasing from 0.0, non-negative,
+        equal length).  Used by the algebra methods, whose outputs preserve
+        those invariants structurally, to skip revalidation and re-dedup.
+        """
+        self = cls.__new__(cls)
+        self._finalize(
+            np.ascontiguousarray(times, dtype=np.float64),
+            np.ascontiguousarray(values, dtype=np.float64),
+        )
+        return self
+
+    def _scalar_lists(self) -> Tuple[List[float], List[float]]:
+        """The breakpoints as plain-float lists (cached; cursor fast path)."""
+        tl = self._times_list
+        vl = self._values_list
+        if tl is None or vl is None:
+            tl = self._times_list = self._times.tolist()
+            vl = self._values_list = self._values.tolist()
+        return tl, vl
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -153,12 +185,14 @@ class CapacityTrace:
     def scaled(self, factor: float) -> "CapacityTrace":
         """A new trace with every capacity multiplied by ``factor >= 0``."""
         check_non_negative(factor, "factor")
-        return CapacityTrace(self._times, self._values * factor)
+        # Times are unchanged (already validated/deduped); scaling by a
+        # non-negative factor keeps values non-negative.
+        return CapacityTrace._trusted(self._times, self._values * factor)
 
     def clipped(self, cap: float) -> "CapacityTrace":
         """A new trace with capacities clipped from above at ``cap``."""
         check_non_negative(cap, "cap")
-        return CapacityTrace(self._times, np.minimum(self._values, cap))
+        return CapacityTrace._trusted(self._times, np.minimum(self._values, cap))
 
     def shifted(self, offset: float) -> "CapacityTrace":
         """A new trace time-shifted *left* by ``offset`` (view from t=offset).
@@ -170,7 +204,9 @@ class CapacityTrace:
         idx = max(int(np.searchsorted(self._times, offset, side="right")) - 1, 0)
         new_times = np.concatenate(([0.0], self._times[idx + 1 :] - offset))
         new_values = self._values[idx:]
-        return CapacityTrace(new_times, new_values)
+        # times[idx+1:] are strictly greater than offset, so new_times is
+        # strictly increasing from 0.0 and the invariants hold by construction.
+        return CapacityTrace._trusted(new_times, new_values)
 
     @staticmethod
     def minimum(traces: Sequence["CapacityTrace"]) -> "CapacityTrace":
@@ -181,7 +217,9 @@ class CapacityTrace:
             return traces[0]
         all_times = np.unique(np.concatenate([t._times for t in traces]))
         stacked = np.vstack([t.values_at(all_times) for t in traces])
-        return CapacityTrace(all_times, np.min(stacked, axis=0))
+        # np.unique returns a sorted, duplicate-free array; every input trace
+        # starts at 0.0, so the union does too.
+        return CapacityTrace._trusted(all_times, np.min(stacked, axis=0))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -198,3 +236,78 @@ class CapacityTrace:
             f"CapacityTrace(pieces={self.n_pieces}, "
             f"mean={float(np.mean(self._values)):.1f} B/s)"
         )
+
+    def cursor(self) -> "TraceCursor":
+        """A fresh :class:`TraceCursor` over this trace."""
+        return TraceCursor(self)
+
+
+class TraceCursor:
+    """Amortised-O(1) scalar queries over a :class:`CapacityTrace`.
+
+    The transport engine queries each link's trace at event times, which are
+    non-decreasing within a simulation.  A cursor exploits that monotonicity:
+    it remembers the piece index of the last query and walks forward from
+    there, so a whole simulation's worth of scalar queries costs O(pieces)
+    total instead of O(queries x log pieces) ``searchsorted`` calls.
+
+    Contract
+    --------
+    * Results are *identical* to :meth:`CapacityTrace.value_at` /
+      :meth:`CapacityTrace.next_change_after` for every ``t`` — the cursor
+      indexes the same breakpoint data, it only changes how the piece is
+      located.
+    * Queries at non-decreasing ``t`` are amortised O(1).  A backward seek
+      (``t`` earlier than the previous query's piece) stays correct via an
+      O(log pieces) ``searchsorted`` fallback.
+    * The underlying trace is immutable, so a cursor never goes stale; one
+      cursor per (consumer, trace) pair is the intended usage.
+    """
+
+    __slots__ = ("_trace", "_times", "_values", "_n", "_idx")
+
+    def __init__(self, trace: CapacityTrace):
+        self._trace = trace
+        self._times, self._values = trace._scalar_lists()
+        self._n = len(self._times)
+        self._idx = 0
+
+    @property
+    def trace(self) -> CapacityTrace:
+        """The trace this cursor reads."""
+        return self._trace
+
+    def _seek(self, t: float) -> int:
+        """Index of the piece containing ``t`` (clamped to 0 before t=0)."""
+        times = self._times
+        i = self._idx
+        if t < times[i]:
+            # Backward seek: rare (only a non-monotone consumer); fall back
+            # to the same bisection value_at() uses.
+            i = int(np.searchsorted(self._trace.times, t, side="right")) - 1
+            if i < 0:
+                i = 0
+        else:
+            n = self._n
+            while i + 1 < n and times[i + 1] <= t:
+                i += 1
+        self._idx = i
+        return i
+
+    def value_at(self, t: float) -> float:
+        """Capacity at time ``t``; equals ``trace.value_at(t)``."""
+        if t <= 0.0:
+            return self._values[0]
+        return self._values[self._seek(t)]
+
+    def next_change_after(self, t: float) -> float:
+        """First breakpoint strictly after ``t``; equals the trace method."""
+        i = self._seek(t)
+        times = self._times
+        if t < times[i]:
+            # Only reachable for t < times[0] == 0.0: the first breakpoint
+            # itself is the next change.
+            return times[i]
+        if i + 1 < self._n:
+            return times[i + 1]
+        return float("inf")

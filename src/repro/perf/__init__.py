@@ -1,0 +1,36 @@
+"""Performance measurement for the simulation kernel.
+
+``repro.perf`` is the measurement layer behind the ``repro perf`` CLI
+subcommand: deterministic microbenchmarks for the engine's hot paths
+(allocation, trace queries, event queue, the fluid tick) plus an end-to-end
+mini-campaign timer.  Every engine-level bench runs in both engine modes —
+the optimised incremental path and the ``REPRO_ENGINE_BASELINE`` seed path —
+so ``BENCH_engine.json`` records before/after numbers and the speedup each
+PR claims is reproducible from the artefact itself.
+
+Wall-clock access lives only here (and at the CLI edge): the simulation
+core stays wall-clock-free per QA-D004.
+"""
+
+from repro.perf.benches import BENCHES, BenchSpec, run_benches
+from repro.perf.microbench import Measurement, measure
+from repro.perf.report import (
+    BenchReport,
+    compare_reports,
+    format_comparison,
+    format_report,
+    load_report,
+)
+
+__all__ = [
+    "BENCHES",
+    "BenchSpec",
+    "run_benches",
+    "Measurement",
+    "measure",
+    "BenchReport",
+    "compare_reports",
+    "format_comparison",
+    "format_report",
+    "load_report",
+]

@@ -1,0 +1,392 @@
+"""Deterministic microbenchmarks for the simulation kernel's hot paths.
+
+Each bench measures one kernel (scalar trace queries, max-min allocation,
+event-queue churn, the fluid tick) or the end-to-end mini-campaign, and —
+where the optimisation can be toggled — runs the same deterministic workload
+in both engine modes:
+
+* **optimised** — the incremental engine (alloc-state cache, trace cursors,
+  allocator fast paths);
+* **baseline** — the seed engine path (``REPRO_ENGINE_BASELINE``:
+  rebuild-every-tick, ``searchsorted`` scalar queries, reference allocator).
+
+Workloads are seeded and fixed-size, so successive runs (and successive
+PRs) measure identical work.  Results are plain dicts; the ``repro perf``
+CLI assembles them into ``BENCH_engine.json`` via :mod:`repro.perf.report`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.link import Link
+from repro.net.route import Route
+from repro.net.trace import CapacityTrace, TraceCursor
+from repro.perf.microbench import Measurement, measure
+from repro.sim.event_queue import Event, EventQueue
+from repro.sim.simulator import Simulator
+from repro.tcp.fluid import FluidNetwork
+from repro.tcp.maxmin import maxmin_allocate
+from repro.util.rng import derive_seed
+from repro.util.units import MB, mbps_to_bytes_per_s
+
+__all__ = ["BenchSpec", "BENCHES", "run_benches"]
+
+#: Root seed for every bench workload (fixed: benches must measure
+#: identical work across runs and PRs).
+_BENCH_SEED = 1894
+
+_BASELINE_ENV_VAR = "REPRO_ENGINE_BASELINE"
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One named benchmark: a deterministic workload plus how to report it."""
+
+    name: str
+    summary: str
+    unit: str
+    runner: Callable[[bool], Dict[str, Any]]
+
+    def run(self, quick: bool) -> Dict[str, Any]:
+        """Execute the bench; returns the result dict for the report."""
+        result = self.runner(quick)
+        result["unit"] = self.unit
+        optimised = result.get("optimised")
+        baseline = result.get("baseline")
+        if (
+            isinstance(optimised, float)
+            and isinstance(baseline, float)
+            and optimised > 0.0
+        ):
+            result["speedup"] = baseline / optimised
+        else:
+            result["speedup"] = None
+        return result
+
+
+def _measurement_fields(m: Measurement) -> Dict[str, Any]:
+    return {"ops": m.ops, "rounds": m.rounds}
+
+
+# --------------------------------------------------------------------------- #
+# trace scalar queries: cursor vs searchsorted
+# --------------------------------------------------------------------------- #
+def _bench_trace_scalar(quick: bool) -> Dict[str, Any]:
+    pieces = 500 if quick else 2_000
+    queries = 5_000 if quick else 50_000
+    rounds = 3 if quick else 5
+    rng = np.random.default_rng(derive_seed(_BENCH_SEED, "trace-scalar"))
+    times = np.concatenate(([0.0], np.cumsum(rng.uniform(0.5, 2.0, size=pieces - 1))))
+    values = rng.uniform(1.0, 100.0, size=pieces)
+    trace = CapacityTrace(times, values)
+    horizon = float(times[-1]) * 1.05
+    query_times = np.sort(rng.uniform(0.0, horizon, size=queries)).tolist()
+
+    def run_cursor() -> float:
+        cursor = TraceCursor(trace)
+        acc = 0.0
+        for t in query_times:
+            acc += cursor.value_at(t)
+            acc += cursor.next_change_after(t)
+        return acc
+
+    def run_searchsorted() -> float:
+        acc = 0.0
+        for t in query_times:
+            acc += trace.value_at(t)
+            acc += trace.next_change_after(t)
+        return acc
+
+    ops = queries * 2
+    opt = measure(run_cursor, ops=ops, rounds=rounds)
+    base = measure(run_searchsorted, ops=ops, rounds=rounds)
+    return {
+        "optimised": opt.ns_per_op,
+        "baseline": base.ns_per_op,
+        **_measurement_fields(opt),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# event queue churn
+# --------------------------------------------------------------------------- #
+def _bench_event_queue(quick: bool) -> Dict[str, Any]:
+    n_events = 2_000 if quick else 20_000
+    rounds = 3 if quick else 5
+    rng = np.random.default_rng(derive_seed(_BENCH_SEED, "event-queue"))
+    event_times = rng.uniform(0.0, 1_000.0, size=n_events).tolist()
+    cancel_every = 7
+
+    def run() -> int:
+        queue = EventQueue()
+        push = queue.push
+        noop = _noop
+        cancels: List[Event] = []
+        for i, t in enumerate(event_times):
+            event = push(t, noop)
+            if i % cancel_every == 0:
+                cancels.append(event)
+        for event in cancels:
+            queue.cancel(event)
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        return popped
+
+    # One op = one push + its share of cancels/pops.
+    m = measure(run, ops=n_events, rounds=rounds)
+    return {"optimised": m.ns_per_op, "baseline": None, **_measurement_fields(m)}
+
+
+def _noop() -> None:
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# max-min allocation: disjoint fast path and shared reference loop
+# --------------------------------------------------------------------------- #
+def _random_disjoint_problem(
+    rng: np.random.Generator, n_flows: int, links_per_flow: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    n_links = n_flows * links_per_flow
+    capacities = rng.uniform(1.0, 100.0, size=n_links)
+    incidence = np.zeros((n_links, n_flows), dtype=bool)
+    for j in range(n_flows):
+        incidence[j * links_per_flow : (j + 1) * links_per_flow, j] = True
+    caps = rng.uniform(1.0, 120.0, size=n_flows)
+    return capacities, incidence, caps
+
+
+def _random_shared_problem(
+    rng: np.random.Generator, n_flows: int, n_links: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    capacities = rng.uniform(1.0, 100.0, size=n_links)
+    incidence = np.zeros((n_links, n_flows), dtype=bool)
+    for j in range(n_flows):
+        picks = rng.choice(n_links, size=max(2, n_links // 3), replace=False)
+        incidence[picks, j] = True
+    # Guarantee sharing: every flow also crosses link 0.
+    incidence[0, :] = True
+    caps = rng.uniform(1.0, 120.0, size=n_flows)
+    return capacities, incidence, caps
+
+
+def _bench_alloc(
+    problems: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    rounds: int,
+) -> Dict[str, Any]:
+    def run_fast() -> None:
+        for c, a, caps in problems:
+            maxmin_allocate(c, a, caps, validate=False, fast=True)
+
+    def run_reference() -> None:
+        for c, a, caps in problems:
+            maxmin_allocate(c, a, caps, validate=False, fast=False)
+
+    ops = len(problems)
+    opt = measure(run_fast, ops=ops, rounds=rounds)
+    base = measure(run_reference, ops=ops, rounds=rounds)
+    return {
+        "optimised": opt.ns_per_op,
+        "baseline": base.ns_per_op,
+        **_measurement_fields(opt),
+    }
+
+
+def _bench_alloc_disjoint(quick: bool) -> Dict[str, Any]:
+    n_problems = 100 if quick else 400
+    rounds = 3 if quick else 5
+    rng = np.random.default_rng(derive_seed(_BENCH_SEED, "alloc-disjoint"))
+    problems = [
+        _random_disjoint_problem(rng, n_flows=int(rng.integers(2, 12)), links_per_flow=3)
+        for _ in range(n_problems)
+    ]
+    return _bench_alloc(problems, rounds)
+
+
+def _bench_alloc_shared(quick: bool) -> Dict[str, Any]:
+    n_problems = 100 if quick else 400
+    rounds = 3 if quick else 5
+    rng = np.random.default_rng(derive_seed(_BENCH_SEED, "alloc-shared"))
+    problems = [
+        _random_shared_problem(
+            rng, n_flows=int(rng.integers(2, 12)), n_links=int(rng.integers(4, 16))
+        )
+        for _ in range(n_problems)
+    ]
+    return _bench_alloc(problems, rounds)
+
+
+# --------------------------------------------------------------------------- #
+# fluid tick: capacity-breakpoint ticks over a stable flow set
+# --------------------------------------------------------------------------- #
+def _breakpoint_network(
+    n_flows: int, n_pieces: int, incremental: bool
+) -> Tuple[Simulator, FluidNetwork, float]:
+    """Disjoint long-lived flows over breakpoint-heavy traces.
+
+    Every trace breakpoint wakes the engine while the flow set stays
+    unchanged — exactly the tick shape the alloc-state cache targets.
+    """
+    rng = np.random.default_rng(derive_seed(_BENCH_SEED, "tick-breakpoint"))
+    sim = Simulator(sanitize=False)
+    network = FluidNetwork(sim, incremental=incremental)
+    piece_s = 0.25
+    horizon = n_pieces * piece_s
+    times = np.arange(n_pieces) * piece_s
+    for i in range(n_flows):
+        values = mbps_to_bytes_per_s(1.0) * rng.uniform(0.5, 1.5, size=n_pieces)
+        trace = CapacityTrace(times, values)
+        link = Link(f"access:{i}", f"src{i}", f"dst{i}", trace, delay=0.01)
+        route = Route([link])
+        # Big enough to stay active through every breakpoint.
+        network.start_flow(route, 100.0 * MB, name=f"bulk{i}", activation_delay=0.0)
+    return sim, network, horizon
+
+
+def _bench_tick_breakpoint(quick: bool) -> Dict[str, Any]:
+    n_flows = 4 if quick else 8
+    n_pieces = 200 if quick else 1_000
+    rounds = 3 if quick else 5
+
+    def run_mode(incremental: bool) -> Measurement:
+        ticks = 0
+
+        def run() -> None:
+            nonlocal ticks
+            sim, _net, horizon = _breakpoint_network(n_flows, n_pieces, incremental)
+            sim.run(until=horizon)
+            ticks = sim.events_processed
+
+        first = measure(run, ops=1, rounds=1, warmup=1)
+        if ticks <= 0:  # pragma: no cover - defensive
+            raise RuntimeError("tick bench produced no events")
+        m = measure(run, ops=ticks, rounds=rounds, warmup=0)
+        return Measurement(
+            ns_per_op=m.ns_per_op,
+            ops=m.ops,
+            rounds=m.rounds,
+            elapsed_s=m.elapsed_s + first.elapsed_s,
+        )
+
+    opt = run_mode(True)
+    base = run_mode(False)
+    return {
+        "optimised": opt.ns_per_op,
+        "baseline": base.ns_per_op,
+        **_measurement_fields(opt),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end mini-campaign
+# --------------------------------------------------------------------------- #
+def _bench_campaign_mini(quick: bool) -> Dict[str, Any]:
+    # Imported lazily: the workloads package pulls in the whole stack and the
+    # other benches should not pay for it.
+    from repro.workloads.experiment import Section2Study
+    from repro.workloads.scenario import Scenario, ScenarioSpec
+
+    clients: Optional[List[str]] = ["Italy", "Sweden", "Taiwan"] if quick else None
+    reps = 3 if quick else 6
+    rounds = 2 if quick else 3
+    scenario = Scenario.build(ScenarioSpec.section2(sites=("eBay",)), seed=2007)
+
+    n_records = 0
+
+    def run_campaign() -> None:
+        nonlocal n_records
+        study = Section2Study(scenario, repetitions=reps)
+        store = study.run(sites=["eBay"], clients=clients, jobs=1)
+        n_records = len(store)
+
+    def run_mode(baseline_mode: bool) -> Measurement:
+        previous = os.environ.get(_BASELINE_ENV_VAR)
+        os.environ[_BASELINE_ENV_VAR] = "1" if baseline_mode else "0"
+        try:
+            return measure(run_campaign, ops=1, rounds=rounds)
+        finally:
+            if previous is None:
+                del os.environ[_BASELINE_ENV_VAR]
+            else:
+                os.environ[_BASELINE_ENV_VAR] = previous
+
+    opt = run_mode(False)
+    base = run_mode(True)
+    result = {
+        "optimised": opt.seconds_per_op,
+        "baseline": base.seconds_per_op,
+        "records": n_records,
+        "transfers_per_sec": float(n_records) / opt.seconds_per_op,
+        "transfers_per_sec_baseline": float(n_records) / base.seconds_per_op,
+        **_measurement_fields(opt),
+    }
+    return result
+
+
+#: Registry, in report order.
+BENCHES: Dict[str, BenchSpec] = {
+    spec.name: spec
+    for spec in (
+        BenchSpec(
+            "trace_scalar",
+            "scalar trace queries: TraceCursor vs per-query searchsorted",
+            "ns/op",
+            _bench_trace_scalar,
+        ),
+        BenchSpec(
+            "event_queue",
+            "event queue push/cancel/pop churn (slots Event)",
+            "ns/op",
+            _bench_event_queue,
+        ),
+        BenchSpec(
+            "alloc_disjoint",
+            "max-min allocation, link-disjoint flows: fast path vs reference loop",
+            "ns/op",
+            _bench_alloc_disjoint,
+        ),
+        BenchSpec(
+            "alloc_shared",
+            "max-min allocation, shared links: reference loop (fast path inert)",
+            "ns/op",
+            _bench_alloc_shared,
+        ),
+        BenchSpec(
+            "tick_breakpoint",
+            "fluid tick at capacity breakpoints: incremental vs rebuild engine",
+            "ns/op",
+            _bench_tick_breakpoint,
+        ),
+        BenchSpec(
+            "campaign_mini",
+            "end-to-end Section2 mini-campaign: optimised vs baseline engine",
+            "s",
+            _bench_campaign_mini,
+        ),
+    )
+}
+
+
+def run_benches(
+    names: Optional[Sequence[str]] = None,
+    *,
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Run the named benches (default: all) and return name -> result."""
+    selected = list(BENCHES) if names is None else list(names)
+    unknown = [n for n in selected if n not in BENCHES]
+    if unknown:
+        raise ValueError(f"unknown bench(es) {unknown}; available: {list(BENCHES)}")
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in selected:
+        if progress is not None:
+            progress(name)
+        results[name] = BENCHES[name].run(quick)
+    return results

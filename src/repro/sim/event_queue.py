@@ -11,7 +11,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.errors import SchedulingError
@@ -19,15 +18,29 @@ from repro.sim.errors import SchedulingError
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(order=False)
 class Event:
-    """A scheduled callback.  Do not construct directly; use ``EventQueue.push``."""
+    """A scheduled callback.  Do not construct directly; use ``EventQueue.push``.
 
-    time: float
-    seq: int
-    callback: Callable[[], Any]
-    name: str = ""
-    cancelled: bool = field(default=False, compare=False)
+    A plain ``__slots__`` class rather than a dataclass: the simulator
+    allocates one per scheduled callback, so construction cost and per-event
+    memory are on the kernel's hot path.
+    """
+
+    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], Any],
+        name: str = "",
+        cancelled: bool = False,
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when reached."""
@@ -62,7 +75,7 @@ class EventQueue:
         if math.isnan(time):
             raise SchedulingError("event time must not be NaN")
         seq = next(self._counter)
-        event = Event(time=time, seq=seq, callback=callback, name=name)
+        event = Event(time, seq, callback, name)
         heapq.heappush(self._heap, (time, seq, event))
         self._len_active += 1
         return event

@@ -155,14 +155,16 @@ class Simulator:
         """
         if predicate():
             return self._now
+        queue = self._queue
+        step = self._step
         while True:
-            t = self._queue.peek_time()
+            t = queue.peek_time()
             if t is None or (limit is not None and t > limit):
                 raise SimulationDeadlock(
                     "event queue drained (or time limit reached) before the "
                     "requested condition became true"
                 )
-            self._step()
+            step()
             if predicate():
                 return self._now
 

@@ -12,20 +12,36 @@ rate, so the engine only needs to wake at moments a rate could change:
 At each wake-up the engine advances delivered byte counts, fires completion
 callbacks, re-solves the max-min fair allocation over the active flows
 (:func:`repro.tcp.maxmin.maxmin_allocate`) and schedules the next wake-up.
-The allocation inputs are rebuilt as numpy arrays each time; with tens of
-flows this is microseconds, and it keeps the engine allocation-free between
-events.
+
+Hot-path design (see DESIGN.md §"Engine performance"): the allocation
+*structure* — the link list, the link-flow incidence matrix and the
+per-link trace cursors — depends only on the set of active flows, which
+changes far less often than rates do (every capacity breakpoint and ramp
+doubling re-solves rates over an unchanged flow set).  The engine therefore
+caches that structure and invalidates it only when a flow activates,
+completes or aborts; per-tick work reduces to refreshing the capacity and
+cap vectors in preallocated buffers and re-running the allocator.  Scalar
+trace queries go through per-link :class:`~repro.net.trace.TraceCursor`
+objects, which are amortised O(1) because event times never decrease.
+
+Setting ``REPRO_ENGINE_BASELINE=1`` (or constructing with
+``incremental=False``) disables the caches and fast paths and restores the
+seed engine's rebuild-every-tick path.  Both modes produce byte-identical
+results; the flag exists so ``repro perf`` can measure the speedup and CI
+can diff campaign artefacts across the two paths.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 from repro.net.link import Link
 from repro.net.route import Route
+from repro.net.trace import TraceCursor
 from repro.sim.errors import TransferError
 from repro.sim.event_queue import Event
 from repro.sim.simulator import Simulator
@@ -33,12 +49,65 @@ from repro.tcp.flow import FlowState, FluidFlow
 from repro.tcp.maxmin import maxmin_allocate
 from repro.tcp.model import SlowStartRamp
 
-__all__ = ["FluidNetwork"]
+__all__ = ["FluidNetwork", "baseline_engine_from_env"]
 
 #: Bytes of slack when deciding a flow has finished (float-precision guard).
 _COMPLETION_SLACK = 1e-3
 #: Relative completion-time safety margin (schedule exactly, detect with slack).
 _TIME_EPS = 1e-12
+
+_BASELINE_ENV_VAR = "REPRO_ENGINE_BASELINE"
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def baseline_engine_from_env() -> bool:
+    """True when ``REPRO_ENGINE_BASELINE`` requests the seed engine path."""
+    return os.environ.get(_BASELINE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class _AllocState:
+    """Cached allocation structure for one active-flow set.
+
+    Valid exactly as long as the active-flow set is unchanged: flows and
+    routes are immutable while active, and capacity traces are immutable
+    always, so only set membership can invalidate this.  ``capacities`` and
+    ``caps`` are per-tick scratch buffers refreshed in place; ``disjoint``
+    (no link carries two flows) is a property of the structure and is
+    decided once here rather than on every tick.
+    """
+
+    __slots__ = (
+        "flows",
+        "links",
+        "link_names",
+        "cursors",
+        "incidence",
+        "flow_links",
+        "disjoint",
+        "capacities",
+        "caps",
+    )
+
+    def __init__(
+        self,
+        flows: List[FluidFlow],
+        links: List[Link],
+        flow_links: List[List[int]],
+        cursors: List[TraceCursor],
+    ):
+        self.flows = flows
+        self.links = links
+        self.link_names = [link.name for link in links]
+        self.cursors = cursors
+        self.flow_links = flow_links
+        incidence = np.zeros((len(links), len(flows)), dtype=bool)
+        for j, idxs in enumerate(flow_links):
+            for i in idxs:
+                incidence[i, j] = True
+        self.incidence = incidence
+        self.disjoint = bool(incidence.sum(axis=1).max(initial=0) <= 1)
+        self.capacities = np.empty(len(links), dtype=np.float64)
+        self.caps = np.empty(len(flows), dtype=np.float64)
 
 
 class FluidNetwork:
@@ -52,13 +121,35 @@ class FluidNetwork:
         When :meth:`start_flow` is not given an explicit activation delay,
         the flow activates after ``route.rtt`` (one RTT covers the request
         and the first payload byte's propagation) scaled by this factor.
+    incremental:
+        Use the incremental allocation-state cache and allocator fast paths
+        (default).  ``False`` restores the seed engine's rebuild-every-tick
+        path; ``None`` reads ``REPRO_ENGINE_BASELINE`` from the environment.
+        Both modes are byte-identical in output.
     """
 
-    def __init__(self, sim: Simulator, *, default_request_latency: float = 1.0):
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        default_request_latency: float = 1.0,
+        incremental: Optional[bool] = None,
+    ):
         self._sim = sim
         self._active: Dict[int, FluidFlow] = {}
         self._tick_event: Optional[Event] = None
         self._default_request_latency = float(default_request_latency)
+        if incremental is None:
+            incremental = not baseline_engine_from_env()
+        self._incremental = bool(incremental)
+        #: Cached allocation structure; None whenever the active set changed.
+        self._alloc_state: Optional[_AllocState] = None
+        #: Persistent per-link trace cursors (survive alloc-state rebuilds,
+        #: so their monotone position is kept across flow churn).
+        self._cursors: Dict[str, TraceCursor] = {}
+        #: Bound-method reference reused by every tick (re)schedule, so the
+        #: hot reschedule path allocates no new callable per tick.
+        self._tick_cb = self._tick
         #: Count of completed flows (monitoring/testing aid).
         self.completed_count = 0
 
@@ -66,6 +157,11 @@ class FluidNetwork:
     def sim(self) -> Simulator:
         """The simulator this network schedules on."""
         return self._sim
+
+    @property
+    def incremental(self) -> bool:
+        """True when the incremental hot path is enabled (default)."""
+        return self._incremental
 
     @property
     def active_flows(self) -> List[FluidFlow]:
@@ -115,6 +211,7 @@ class FluidNetwork:
         if flow.state is FlowState.ACTIVE:
             flow._advance(self._sim.now)
             self._active.pop(flow.id, None)
+            self._alloc_state = None
         flow._abort(self._sim.now)
         if self._sim.sanitizer is not None:
             self._sim.sanitizer.forget_flow(flow.id)
@@ -128,6 +225,7 @@ class FluidNetwork:
             return  # aborted while pending
         flow._activate(self._sim.now)
         self._active[flow.id] = flow
+        self._alloc_state = None
         self._request_tick()
 
     def _request_tick(self) -> None:
@@ -136,7 +234,52 @@ class FluidNetwork:
             if self._tick_event.time <= self._sim.now + _TIME_EPS:
                 return  # a tick at (or before) now is already pending
             self._sim.cancel(self._tick_event)
-        self._tick_event = self._sim.schedule_at(self._sim.now, self._tick, name="fluid-tick")
+        self._tick_event = self._sim.schedule_at(self._sim.now, self._tick_cb, name="fluid-tick")
+
+    def _cursor(self, link: Link) -> TraceCursor:
+        """The persistent monotone cursor for ``link``'s trace."""
+        cursor = self._cursors.get(link.name)
+        if cursor is None or cursor.trace is not link.trace:
+            cursor = TraceCursor(link.trace)
+            self._cursors[link.name] = cursor
+        return cursor
+
+    def _build_alloc_state(self, flows: List[FluidFlow]) -> _AllocState:
+        """Collect links and incidence for the current active-flow set."""
+        links: List[Link] = []
+        link_index: Dict[str, int] = {}
+        flow_links: List[List[int]] = []
+        for flow in flows:
+            idxs: List[int] = []
+            for link in flow.route.links:
+                idx = link_index.get(link.name)
+                if idx is None:
+                    idx = link_index[link.name] = len(links)
+                    links.append(link)
+                else:
+                    self._check_link_merge(links[idx], link)
+                idxs.append(idx)
+            flow_links.append(idxs)
+        return _AllocState(flows, links, flow_links, [self._cursor(link) for link in links])
+
+    @staticmethod
+    def _check_link_merge(kept: Link, dup: Link) -> None:
+        """Refuse to merge distinct links that share a name but disagree.
+
+        Links are keyed by name, so two distinct :class:`Link` objects with
+        the same name become a *single* capacity constraint.  That is the
+        intended sharing mechanism when they carry the same trace, but a
+        silent merge of links with *different* traces would drop one
+        constraint entirely — raise instead.
+        """
+        if kept is dup or kept.trace is dup.trace:
+            return
+        if kept.trace != dup.trace:
+            raise TransferError(
+                f"two distinct links named {kept.name!r} with different "
+                "capacity traces are in use by concurrent flows; link names "
+                "must identify a unique capacity constraint"
+            )
 
     def _tick(self) -> None:
         now = self._sim.now
@@ -159,6 +302,8 @@ class FluidNetwork:
             self.completed_count += 1
             if sanitizer is not None:
                 sanitizer.forget_flow(flow.id)
+        if finished:
+            self._alloc_state = None
         for flow in finished:
             if flow.on_complete is not None:
                 flow.on_complete(flow)
@@ -173,51 +318,104 @@ class FluidNetwork:
             return
 
         # 3. Re-solve the allocation over the current active set.
-        flows = list(self._active.values())
-        links: List[Link] = []
-        link_index: Dict[str, int] = {}
-        for flow in flows:
-            for link in flow.route.links:
-                if link.name not in link_index:
-                    link_index[link.name] = len(links)
-                    links.append(link)
-        n_links, n_flows = len(links), len(flows)
-        capacities = np.fromiter(
-            (link.trace.value_at(now) for link in links), dtype=np.float64, count=n_links
-        )
-        incidence = np.zeros((n_links, n_flows), dtype=bool)
-        for j, flow in enumerate(flows):
-            for link in flow.route.links:
-                incidence[link_index[link.name], j] = True
-        caps = np.fromiter((f.cap_at(now) for f in flows), dtype=np.float64, count=n_flows)
-        rates = maxmin_allocate(capacities, incidence, caps)
-        if sanitizer is not None:
-            sanitizer.check_allocation(
-                now, capacities, incidence, caps, rates,
-                [link.name for link in links],
+        if self._incremental:
+            state = self._alloc_state
+            if state is None:
+                state = self._alloc_state = self._build_alloc_state(
+                    list(self._active.values())
+                )
+            flows = state.flows
+            cursors = state.cursors
+            capv = [cursor.value_at(now) for cursor in cursors]
+            if state.disjoint and sanitizer is None:
+                # No link is shared, so no sharing to arbitrate: each flow
+                # gets min(bottleneck, cap) in plain floats, skipping numpy
+                # entirely.  Identical values to maxmin_allocate's disjoint
+                # fast path (same candidates, same exact min).
+                for flow, idxs in zip(flows, state.flow_links):
+                    bottleneck = capv[idxs[0]]
+                    for i in idxs:
+                        v = capv[i]
+                        if v < bottleneck:
+                            bottleneck = v
+                    cap = flow.cap_at(now)
+                    flow.rate = bottleneck if bottleneck < cap else cap
+            else:
+                capacities = state.capacities
+                for i, value in enumerate(capv):
+                    capacities[i] = value
+                caps = state.caps
+                for j, flow in enumerate(flows):
+                    caps[j] = flow.cap_at(now)
+                rates = maxmin_allocate(
+                    capacities, state.incidence, caps,
+                    validate=False, fast=state.disjoint,
+                )
+                if sanitizer is not None:
+                    sanitizer.check_allocation(
+                        now, capacities, state.incidence, caps, rates, state.link_names
+                    )
+                for flow, rate in zip(flows, rates):
+                    flow.rate = float(rate)
+            next_time = float("inf")
+            for flow in flows:
+                if flow.rate > 0.0:
+                    next_time = min(next_time, now + flow.remaining / flow.rate)
+                next_time = min(next_time, flow.next_cap_increase(now))
+            for cursor in cursors:
+                next_time = min(next_time, cursor.next_change_after(now))
+        else:
+            # Seed engine path: rebuild every structure from scratch at every
+            # tick.  Kept verbatim as the perf yardstick (REPRO_ENGINE_BASELINE)
+            # and as executable documentation of the semantics the incremental
+            # path must reproduce byte-for-byte.
+            flows = list(self._active.values())
+            links = []
+            link_index: Dict[str, int] = {}
+            for flow in flows:
+                for link in flow.route.links:
+                    idx = link_index.get(link.name)
+                    if idx is None:
+                        link_index[link.name] = len(links)
+                        links.append(link)
+                    else:
+                        self._check_link_merge(links[idx], link)
+            n_links, n_flows = len(links), len(flows)
+            capacities = np.fromiter(
+                (link.trace.value_at(now) for link in links), dtype=np.float64, count=n_links
             )
-        for flow, rate in zip(flows, rates):
-            flow.rate = float(rate)
+            incidence = np.zeros((n_links, n_flows), dtype=bool)
+            for j, flow in enumerate(flows):
+                for link in flow.route.links:
+                    incidence[link_index[link.name], j] = True
+            caps = np.fromiter((f.cap_at(now) for f in flows), dtype=np.float64, count=n_flows)
+            rates = maxmin_allocate(capacities, incidence, caps, fast=False)
+            if sanitizer is not None:
+                sanitizer.check_allocation(
+                    now, capacities, incidence, caps, rates,
+                    [link.name for link in links],
+                )
+            for flow, rate in zip(flows, rates):
+                flow.rate = float(rate)
+            next_time = float("inf")
+            for flow in flows:
+                if flow.rate > 0.0:
+                    next_time = min(next_time, now + flow.remaining / flow.rate)
+                next_time = min(next_time, flow.next_cap_increase(now))
+            for link in links:
+                next_time = min(next_time, link.trace.next_change_after(now))
 
-        # 4. Find the next moment any rate could change.
-        next_time = float("inf")
-        for flow in flows:
-            if flow.rate > 0.0:
-                next_time = min(next_time, now + flow.remaining / flow.rate)
-            next_time = min(next_time, flow.next_cap_increase(now))
-        for link in links:
-            next_time = min(next_time, link.trace.next_change_after(now))
-
+        # 4. Schedule the next moment any rate could change.
         if math.isinf(next_time):
             raise TransferError(
-                f"transfer deadlock at t={now:.3f}: {n_flows} active flow(s) "
+                f"transfer deadlock at t={now:.3f}: {len(flows)} active flow(s) "
                 "have zero rate and no future capacity or window changes"
             )
         # Defensive minimum step: a wake-up so close that float addition
         # cannot advance the clock would spin forever at one instant.
         min_step = 1e-9 * max(now, 1.0)
         self._tick_event = self._sim.schedule_at(
-            max(next_time, now + min_step), self._tick, name="fluid-tick"
+            max(next_time, now + min_step), self._tick_cb, name="fluid-tick"
         )
 
     # ------------------------------------------------------------------ #

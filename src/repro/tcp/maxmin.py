@@ -11,9 +11,18 @@ classic water-filling allocation:
 
 The implementation is the standard progressive-filling loop, vectorised with
 numpy per the HPC guides: each iteration does O(L*F) array work and freezes
-at least one flow, so the loop runs at most F times.  For this study F is
-tens at most (concurrent probes plus the bulk transfers), so allocation cost
-is negligible next to event handling.
+at least one flow, so the loop runs at most F times.  Two fast paths cover
+the campaign-dominant shapes in O(L*F) total:
+
+* a **single flow** simply receives its bottleneck (sequential probing,
+  uncontended bulk transfers);
+* **link-disjoint flows** (each link carries at most one flow — the usual
+  case for a control transfer running against selector probes on disjoint
+  relay paths) each receive ``min(bottleneck, cap)`` directly.
+
+Both fast paths produce the same allocation as the progressive-filling loop;
+the property-based suite cross-checks them against the loop and
+:func:`verify_maxmin` on random topologies.
 """
 
 from __future__ import annotations
@@ -32,6 +41,9 @@ def maxmin_allocate(
     capacities: np.ndarray,
     incidence: np.ndarray,
     caps: Optional[np.ndarray] = None,
+    *,
+    validate: bool = True,
+    fast: bool = True,
 ) -> np.ndarray:
     """Compute max-min fair rates.
 
@@ -44,6 +56,18 @@ def maxmin_allocate(
         traverses link ``l``.  Every flow must traverse at least one link.
     caps:
         Optional shape ``(F,)`` per-flow ceilings; ``inf`` means uncapped.
+    validate:
+        Skip the value-domain checks (negative capacities/caps, flows with
+        no links) when False.  The transport engine builds its inputs
+        structurally valid and calls with ``validate=False``; validation
+        never changes the result for valid inputs, only whether invalid
+        ones raise.  Shape mismatches always raise.
+    fast:
+        Enable the vectorised link-disjoint fast path.  ``fast=False``
+        forces the progressive-filling reference loop (used by the
+        property-based suite and the ``REPRO_ENGINE_BASELINE`` perf
+        yardstick); the single-flow path predates this flag and is always
+        on, as in the seed engine.
 
     Returns
     -------
@@ -59,11 +83,11 @@ def maxmin_allocate(
         raise ValueError(
             f"capacities shape {c.shape} does not match incidence rows {n_links}"
         )
-    if np.any(c < 0.0):
+    if validate and np.any(c < 0.0):
         raise ValueError("capacities must be non-negative")
     if n_flows == 0:
         return np.zeros(0)
-    if not np.all(a.any(axis=0)):
+    if validate and not np.all(a.any(axis=0)):
         raise ValueError("every flow must traverse at least one link")
     if n_flows == 1:
         # Fast path: a lone flow simply gets its bottleneck (profiling shows
@@ -72,7 +96,7 @@ def maxmin_allocate(
         rate = float(np.min(c[a[:, 0]]))
         if caps is not None:
             cap0 = float(np.asarray(caps, dtype=np.float64).reshape(-1)[0])
-            if cap0 < 0.0:
+            if validate and cap0 < 0.0:
                 raise ValueError("caps must be non-negative")
             rate = min(rate, cap0)
         return np.array([rate])
@@ -82,8 +106,18 @@ def maxmin_allocate(
         caps_arr = np.asarray(caps, dtype=np.float64)
         if caps_arr.shape != (n_flows,):
             raise ValueError(f"caps shape {caps_arr.shape} != ({n_flows},)")
-        if np.any(caps_arr < 0.0):
+        if validate and np.any(caps_arr < 0.0):
             raise ValueError("caps must be non-negative")
+
+    if fast and n_links > 0:
+        # Disjoint fast path: when no link carries two flows there is no
+        # sharing to arbitrate — every flow independently receives
+        # min(bottleneck, cap), exactly the loop's fixed point.  This is the
+        # dominant campaign shape (control + selector probes on disjoint
+        # relay paths) and costs one O(L*F) pass instead of up to F.
+        if int(a.sum(axis=1).max()) <= 1:
+            bottleneck = np.where(a, c[:, None], np.inf).min(axis=0)
+            return np.minimum(bottleneck, caps_arr)
 
     rates = np.zeros(n_flows)
     frozen = np.zeros(n_flows, dtype=bool)

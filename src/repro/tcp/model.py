@@ -17,7 +17,7 @@ All rates are bytes/second, times seconds, sizes bytes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.util.validation import check_non_negative, check_positive, check_probability
 
@@ -181,6 +181,7 @@ class SlowStartRamp:
     rtt: float
     initial_window: float = DEFAULT_INITIAL_WINDOW
     max_window: float = DEFAULT_MAX_WINDOW
+    _rounds_to_peak: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         check_positive(self.rtt, "rtt")
@@ -188,6 +189,14 @@ class SlowStartRamp:
         check_positive(self.max_window, "max_window")
         if self.max_window < self.initial_window:
             raise ValueError("max_window must be >= initial_window")
+        # Cached on the (frozen, immutable) ramp: cap_at/next_increase_after
+        # run on the engine's per-tick hot path, and log2/ceil per query is
+        # measurable there.
+        object.__setattr__(
+            self,
+            "_rounds_to_peak",
+            int(math.ceil(math.log2(self.max_window / self.initial_window))),
+        )
 
     @property
     def peak_rate(self) -> float:
@@ -224,4 +233,4 @@ class SlowStartRamp:
 
     def rounds_to_peak(self) -> int:
         """Number of doubling rounds until the window cap is reached."""
-        return int(math.ceil(math.log2(self.max_window / self.initial_window)))
+        return self._rounds_to_peak

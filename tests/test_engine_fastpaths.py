@@ -1,0 +1,310 @@
+"""Fast-path equivalence and engine-cache regression tests.
+
+The PR that introduced the incremental engine claims every fast path is
+*exactly* equivalent to the seed semantics.  This suite holds it to that:
+
+* the disjoint allocator fast path vs the progressive-filling reference
+  loop, bit-for-bit, on random disjoint topologies (plus ``verify_maxmin``);
+* ``fast=True`` vs ``fast=False`` on arbitrary random topologies (the flag
+  may only change *how* the answer is computed, never the answer);
+* :class:`TraceCursor` vs the ``searchsorted``-based ``CapacityTrace``
+  lookups on random traces and random (including backward) query sequences;
+* the link-name-collision guard: two distinct :class:`Link` objects sharing
+  a name with *different* capacity traces must raise instead of silently
+  merging into one constraint (regression test for the seed's silent merge).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.net.link import Link
+from repro.net.route import Route
+from repro.net.trace import CapacityTrace, TraceCursor
+from repro.sim.errors import TransferError
+from repro.sim.simulator import Simulator
+from repro.tcp.fluid import FluidNetwork
+from repro.tcp.maxmin import maxmin_allocate, verify_maxmin
+
+
+def _well_separated(values):
+    """True when all distinct constraint values differ by > 1e-6 relative.
+
+    The progressive-filling loop merges water levels within ``1e-9``
+    relative slack, so two *distinct* constraints closer than that can
+    freeze at the merged level while the fast path keeps each exact
+    bottleneck.  The documented equivalence contract excludes those
+    measure-zero coincidences; exactly-equal values are fine (both paths
+    agree).  This mirrors real campaigns, whose capacities come from
+    continuous random draws.
+    """
+    finite = sorted(v for v in values if np.isfinite(v))
+    for a, b in zip(finite, finite[1:]):
+        if a != b and b - a <= 1e-6 * max(b, 1.0):
+            return False
+    return True
+
+
+@st.composite
+def disjoint_problems(draw):
+    """Random allocation problems where no link carries two flows."""
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    links_per_flow = [draw(st.integers(min_value=1, max_value=3)) for _ in range(n_flows)]
+    n_links = sum(links_per_flow)
+    caps = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1000.0),
+            min_size=n_links,
+            max_size=n_links,
+        )
+    )
+    inc = np.zeros((n_links, n_flows), dtype=bool)
+    base = 0
+    for f, k in enumerate(links_per_flow):
+        inc[base : base + k, f] = True
+        base += k
+    use_caps = draw(st.booleans())
+    flow_caps = None
+    if use_caps:
+        flow_caps = np.asarray(
+            draw(
+                st.lists(
+                    st.one_of(
+                        st.floats(min_value=0.1, max_value=500.0),
+                        st.just(float("inf")),
+                    ),
+                    min_size=n_flows,
+                    max_size=n_flows,
+                )
+            )
+        )
+    return np.asarray(caps), inc, flow_caps
+
+
+@st.composite
+def arbitrary_problems(draw):
+    """Random allocation problems with arbitrary (possibly shared) links."""
+    n_links = draw(st.integers(min_value=1, max_value=5))
+    n_flows = draw(st.integers(min_value=1, max_value=6))
+    caps = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=1000.0),
+            min_size=n_links,
+            max_size=n_links,
+        )
+    )
+    inc = np.zeros((n_links, n_flows), dtype=bool)
+    for f in range(n_flows):
+        idxs = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_links - 1),
+                min_size=1,
+                max_size=n_links,
+                unique=True,
+            )
+        )
+        inc[idxs, f] = True
+    return np.asarray(caps), inc
+
+
+class TestDisjointFastPath:
+    @settings(max_examples=200, deadline=None)
+    @given(disjoint_problems())
+    def test_identical_to_reference_loop(self, problem):
+        caps, inc, flow_caps = problem
+        constraints = list(caps) + ([] if flow_caps is None else list(flow_caps))
+        assume(_well_separated(constraints))
+        fast = maxmin_allocate(caps, inc, flow_caps, fast=True)
+        reference = maxmin_allocate(caps, inc, flow_caps, fast=False)
+        # Bit-for-bit: the byte-identity guarantee of the engine rests on
+        # the fast path producing the same floats, not merely close ones.
+        np.testing.assert_array_equal(fast, reference)
+
+    @settings(max_examples=100, deadline=None)
+    @given(disjoint_problems())
+    def test_fast_path_is_maxmin_optimal(self, problem):
+        caps, inc, flow_caps = problem
+        rates = maxmin_allocate(caps, inc, flow_caps, fast=True)
+        assert verify_maxmin(caps, inc, rates, flow_caps)
+
+    @settings(max_examples=150, deadline=None)
+    @given(arbitrary_problems())
+    def test_flag_never_changes_result(self, problem):
+        caps, inc = problem
+        assume(_well_separated(caps))
+        fast = maxmin_allocate(caps, inc, fast=True)
+        reference = maxmin_allocate(caps, inc, fast=False)
+        np.testing.assert_array_equal(fast, reference)
+
+    @settings(max_examples=100, deadline=None)
+    @given(arbitrary_problems())
+    def test_validate_flag_never_changes_result(self, problem):
+        caps, inc = problem
+        checked = maxmin_allocate(caps, inc, validate=True)
+        unchecked = maxmin_allocate(caps, inc, validate=False)
+        np.testing.assert_array_equal(checked, unchecked)
+
+    def test_disjoint_respects_caps(self):
+        caps = np.array([100.0, 50.0])
+        inc = np.array([[True, False], [False, True]])
+        rates = maxmin_allocate(caps, inc, np.array([30.0, np.inf]))
+        np.testing.assert_array_equal(rates, [30.0, 50.0])
+
+
+@st.composite
+def trace_and_queries(draw):
+    """A random step trace plus a random (not necessarily sorted) query list."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=50.0), min_size=n - 1, max_size=n - 1
+        )
+    )
+    times = [0.0]
+    for g in gaps:
+        times.append(times[-1] + g)
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6), min_size=n, max_size=n
+        )
+    )
+    span = times[-1] + 10.0
+    queries = draw(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=span), min_size=1, max_size=30
+        )
+    )
+    return CapacityTrace(times, values), queries
+
+
+class TestTraceCursor:
+    @settings(max_examples=200, deadline=None)
+    @given(trace_and_queries())
+    def test_matches_searchsorted_forward(self, case):
+        trace, queries = case
+        cursor = trace.cursor()
+        for t in sorted(queries):
+            assert cursor.value_at(t) == trace.value_at(t)
+            assert cursor.next_change_after(t) == trace.next_change_after(t)
+
+    @settings(max_examples=200, deadline=None)
+    @given(trace_and_queries())
+    def test_matches_searchsorted_any_order(self, case):
+        # Backward seeks exercise the searchsorted fallback: the cursor's
+        # contract is amortised O(1) for monotone queries but *correct* for
+        # any order.
+        trace, queries = case
+        cursor = trace.cursor()
+        for t in queries:
+            assert cursor.value_at(t) == trace.value_at(t)
+            assert cursor.next_change_after(t) == trace.next_change_after(t)
+
+    def test_explicit_backward_seek(self):
+        trace = CapacityTrace.from_steps([(0.0, 10.0), (1.0, 20.0), (2.0, 30.0)])
+        cursor = trace.cursor()
+        assert cursor.value_at(5.0) == 30.0  # advance to the last piece
+        assert cursor.value_at(0.5) == 10.0  # seek back to the first
+        assert cursor.next_change_after(0.5) == 1.0
+        assert cursor.value_at(1.5) == 20.0  # and forward again
+
+    def test_cursor_constructor_and_trace_property(self):
+        trace = CapacityTrace.constant(100.0)
+        cursor = TraceCursor(trace)
+        assert cursor.trace is trace
+        assert cursor.value_at(0.0) == 100.0
+        assert cursor.next_change_after(0.0) == float("inf")
+
+    def test_link_capacity_cursor(self):
+        trace = CapacityTrace.from_steps([(0.0, 10.0), (1.0, 20.0)])
+        link = Link("l", "a", "b", trace)
+        cursor = link.capacity_cursor()
+        assert cursor.trace is trace
+        assert cursor.value_at(1.5) == 20.0
+
+
+class TestLinkNameCollision:
+    """Two distinct Link objects sharing a name must agree on their trace.
+
+    Links are keyed by name inside the engine, so distinct objects with one
+    name silently become a single capacity constraint.  With equal traces
+    that is the intended sharing idiom; with different traces one
+    constraint would be dropped — the engine must raise.
+    """
+
+    def _run_pair(self, link_a, link_b, *, incremental):
+        sim = Simulator()
+        net = FluidNetwork(sim, incremental=incremental)
+        net.start_flow(Route([link_a]), 1000.0, activation_delay=0.0)
+        net.start_flow(Route([link_b]), 1000.0, activation_delay=0.0)
+        sim.run()
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_conflicting_traces_raise(self, incremental):
+        link_a = Link("shared", "a", "b", CapacityTrace.constant(100.0))
+        link_b = Link("shared", "a", "b", CapacityTrace.constant(200.0))
+        with pytest.raises(TransferError, match="shared"):
+            self._run_pair(link_a, link_b, incremental=incremental)
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_equal_traces_allowed(self, incremental):
+        # Distinct objects, equal traces: legitimate sharing, no error.
+        link_a = Link("shared", "a", "b", CapacityTrace.constant(100.0))
+        link_b = Link("shared", "a", "b", CapacityTrace.constant(100.0))
+        self._run_pair(link_a, link_b, incremental=incremental)
+
+    def test_same_object_always_allowed(self):
+        link = Link("shared", "a", "b", CapacityTrace.constant(100.0))
+        self._run_pair(link, link, incremental=True)
+
+    def test_conflict_detected_mid_run(self):
+        # The second flow activates later, after the first alloc state was
+        # built — the rebuild on activation must still catch the conflict.
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        link_a = Link("shared", "a", "b", CapacityTrace.constant(1000.0))
+        link_b = Link("shared", "a", "b", CapacityTrace.constant(2000.0))
+        net.start_flow(Route([link_a]), 1e6, activation_delay=0.0)
+        net.start_flow(Route([link_b]), 1e6, activation_delay=10.0)
+        with pytest.raises(TransferError, match="shared"):
+            sim.run()
+
+
+class TestEngineModeEquivalence:
+    """Incremental and baseline engines must be byte-identical in output."""
+
+    def _transfer_times(self, *, incremental):
+        sim = Simulator()
+        net = FluidNetwork(sim, incremental=incremental)
+        shared = Link(
+            "shared",
+            "a",
+            "b",
+            CapacityTrace.from_steps([(0.0, 1000.0), (5.0, 400.0), (12.0, 1500.0)]),
+        )
+        private = [
+            Link(f"p{i}", "b", "c", CapacityTrace.constant(300.0 + 100.0 * i))
+            for i in range(3)
+        ]
+        flows = [
+            net.start_flow(
+                Route([shared, private[i]]), 5e3 * (i + 1), activation_delay=0.3 * i
+            )
+            for i in range(3)
+        ]
+        flows.append(net.start_flow(Route([private[0]]), 2e3, activation_delay=0.1))
+        sim.run()
+        return [f.completed_at for f in flows]
+
+    def test_byte_identical_completion_times(self):
+        fast = self._transfer_times(incremental=True)
+        seed = self._transfer_times(incremental=False)
+        assert fast == seed  # exact float equality, not approx
+
+    def test_env_var_selects_baseline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BASELINE", "1")
+        net = FluidNetwork(Simulator())
+        assert net.incremental is False
+        monkeypatch.setenv("REPRO_ENGINE_BASELINE", "")
+        net = FluidNetwork(Simulator())
+        assert net.incremental is True

@@ -198,7 +198,7 @@ class TestAllocation:
         monkeypatch.setattr(
             fluid_mod,
             "maxmin_allocate",
-            lambda capacities, incidence, caps: real(capacities, incidence, caps) * 3.0,
+            lambda capacities, incidence, caps, **kw: real(capacities, incidence, caps, **kw) * 3.0,
         )
         with pytest.raises(InvariantViolation) as exc:
             contended_world(sanitize=True)

@@ -1,5 +1,13 @@
 """Analysis layer: every paper table and figure computed from trace stores."""
 
+from repro.analysis.availability import (
+    AvailabilityStats,
+    availability_by_mode,
+    availability_stats,
+    goodput_under_failure,
+    recovery_times,
+    render_availability,
+)
 from repro.analysis.classify import (
     DEFAULT_CV_THRESHOLD,
     MeasuredClientProfile,
@@ -59,6 +67,12 @@ from repro.analysis.utilization import (
 )
 
 __all__ = [
+    "AvailabilityStats",
+    "availability_stats",
+    "availability_by_mode",
+    "recovery_times",
+    "goodput_under_failure",
+    "render_availability",
     "improvements_when_indirect",
     "all_improvements",
     "indirect_utilization",

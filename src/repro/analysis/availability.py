@@ -1,0 +1,212 @@
+"""Availability analysis over the failure study's records.
+
+The overlay-resilience lineage (RON, MONET, "Examining Lower Latency Routing
+with Overlay Networks") reports *availability* next to throughput, and this
+module computes the comparable numbers for our resilient protocol from
+:class:`~repro.trace.records.FailureRecord` rows:
+
+* **availability** - the fraction of sessions that delivered the whole file
+  (cleanly or via failover), and the byte-weighted complement
+  *byte unavailability*;
+* **time-to-recover** - the distribution of seconds between a stall being
+  detected and the recovery action that answered it;
+* **goodput under failure** - what throughput outage-affected sessions
+  actually achieved, including the zeros of aborted sessions.
+
+Every statistic is defined for empty inputs (NaN for undefined ratios,
+never a ``ZeroDivisionError``) so partial or failure-free campaigns render
+cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.trace.records import FailureRecord
+from repro.util.units import mb
+
+__all__ = [
+    "AvailabilityStats",
+    "availability_stats",
+    "availability_by_mode",
+    "recovery_times",
+    "goodput_under_failure",
+    "render_availability",
+]
+
+
+def _quantile(values: Sequence[float], q: float) -> float:
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return math.nan
+    return float(np.quantile(np.asarray(finite, dtype=np.float64), q))
+
+
+def _mean(values: Sequence[float]) -> float:
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return math.nan
+    return float(np.mean(np.asarray(finite, dtype=np.float64)))
+
+
+@dataclass(frozen=True)
+class AvailabilityStats:
+    """Aggregate availability outcome of one record set.
+
+    Attributes
+    ----------
+    n_sessions / n_completed / n_failed_over / n_aborted:
+        Session counts by :class:`~repro.core.resilience.SessionOutcome`.
+    availability:
+        Fraction of sessions that delivered the whole file (``completed``
+        or ``failed_over``); NaN with no sessions.
+    recovery_rate:
+        Of the sessions that took at least one recovery action (or
+        aborted), the fraction that still delivered the file; NaN when no
+        session ever needed recovery.
+    mean_ttr / median_ttr / p95_ttr:
+        Time-to-recover statistics over sessions with a finite
+        time-to-recover (a stall answered by a failover/re-probe); NaN when
+        none recovered.
+    mean_goodput_under_failure:
+        Mean goodput (delivered bytes / session duration) of
+        outage-affected sessions, aborts included; NaN with none affected.
+    byte_unavailability:
+        ``1 - (delivered bytes / requested bytes)`` over all sessions - the
+        byte-weighted cost of failures; NaN with no sessions.
+    """
+
+    n_sessions: int
+    n_completed: int
+    n_failed_over: int
+    n_aborted: int
+    availability: float
+    recovery_rate: float
+    mean_ttr: float
+    median_ttr: float
+    p95_ttr: float
+    mean_goodput_under_failure: float
+    byte_unavailability: float
+
+
+def recovery_times(records: Sequence[FailureRecord]) -> List[float]:
+    """Finite time-to-recover values, one per session that recovered."""
+    return [r.time_to_recover for r in records if math.isfinite(r.time_to_recover)]
+
+
+def goodput_under_failure(records: Sequence[FailureRecord]) -> List[float]:
+    """Goodput (bytes/second) of each outage-affected session.
+
+    Aborted sessions contribute their partial goodput (possibly 0.0); a
+    degenerate zero-duration session contributes 0.0.
+    """
+    out: List[float] = []
+    for r in records:
+        if not r.outage_overlap:
+            continue
+        if r.selected_duration <= 0.0:
+            out.append(0.0)
+        else:
+            out.append(r.bytes_received / r.selected_duration)
+    return out
+
+
+def availability_stats(records: Sequence[FailureRecord]) -> AvailabilityStats:
+    """Summarise availability over ``records`` (empty input is legal)."""
+    n = len(records)
+    n_completed = sum(1 for r in records if r.outcome == "completed")
+    n_failed_over = sum(1 for r in records if r.recovered)
+    n_aborted = sum(1 for r in records if r.aborted)
+    needed_recovery = [r for r in records if r.recovered or r.aborted]
+
+    availability = (n_completed + n_failed_over) / n if n else math.nan
+    recovery_rate = (
+        sum(1 for r in needed_recovery if not r.aborted) / len(needed_recovery)
+        if needed_recovery
+        else math.nan
+    )
+    ttrs = recovery_times(records)
+    requested = sum(r.file_bytes for r in records)
+    delivered = sum(min(r.bytes_received, r.file_bytes) for r in records)
+    byte_unavailability = (
+        1.0 - delivered / requested if requested > 0.0 else math.nan
+    )
+    return AvailabilityStats(
+        n_sessions=n,
+        n_completed=n_completed,
+        n_failed_over=n_failed_over,
+        n_aborted=n_aborted,
+        availability=availability,
+        recovery_rate=recovery_rate,
+        mean_ttr=_mean(ttrs),
+        median_ttr=_quantile(ttrs, 0.5),
+        p95_ttr=_quantile(ttrs, 0.95),
+        mean_goodput_under_failure=_mean(goodput_under_failure(records)),
+        byte_unavailability=byte_unavailability,
+    )
+
+
+def availability_by_mode(
+    records: Sequence[FailureRecord],
+) -> Dict[str, AvailabilityStats]:
+    """Per-injection-mode availability, keyed by ``failure_mode``.
+
+    Modes appear in first-occurrence order, which for planned campaigns is
+    the :data:`~repro.workloads.failures.FAILURE_MODES` cycle order.
+    """
+    by_mode: Dict[str, List[FailureRecord]] = {}
+    for r in records:
+        by_mode.setdefault(r.failure_mode, []).append(r)
+    return {mode: availability_stats(rs) for mode, rs in by_mode.items()}
+
+
+def _fmt(x: float, *, pct: bool = False) -> str:
+    if not math.isfinite(x):
+        return "n/a"
+    return f"{100.0 * x:.1f}%" if pct else f"{x:.2f}"
+
+
+def render_availability(records: Sequence[FailureRecord]) -> str:
+    """Human-readable availability report (the `repro failures` output)."""
+    lines: List[str] = []
+    overall = availability_stats(records)
+    lines.append("Availability study")
+    lines.append("=" * 68)
+    lines.append(
+        f"sessions: {overall.n_sessions}  "
+        f"(completed {overall.n_completed}, "
+        f"failed over {overall.n_failed_over}, "
+        f"aborted {overall.n_aborted})"
+    )
+    lines.append(
+        f"availability: {_fmt(overall.availability, pct=True)}   "
+        f"recovery rate: {_fmt(overall.recovery_rate, pct=True)}   "
+        f"byte unavailability: {_fmt(overall.byte_unavailability, pct=True)}"
+    )
+    lines.append(
+        f"time-to-recover (s): mean {_fmt(overall.mean_ttr)}  "
+        f"median {_fmt(overall.median_ttr)}  p95 {_fmt(overall.p95_ttr)}"
+    )
+    lines.append(
+        "goodput under failure (MB/s): "
+        f"{_fmt(overall.mean_goodput_under_failure / mb(1))}"
+    )
+    lines.append("")
+    lines.append(
+        f"{'mode':<8} {'n':>5} {'avail':>8} {'recov':>8} "
+        f"{'mean TTR':>9} {'aborted':>8}"
+    )
+    lines.append("-" * 68)
+    for mode, stats in availability_by_mode(records).items():
+        lines.append(
+            f"{mode:<8} {stats.n_sessions:>5} "
+            f"{_fmt(stats.availability, pct=True):>8} "
+            f"{_fmt(stats.recovery_rate, pct=True):>8} "
+            f"{_fmt(stats.mean_ttr):>9} "
+            f"{stats.n_aborted:>8}"
+        )
+    return "\n".join(lines)

@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro``):
 
     repro section2 --reps 30 --out s2.jsonl            # the §2-3 campaign
     repro section4 --reps 40 --set-sizes 1,4,10,35 --out s4.jsonl
+    repro failures --quick --out fail.jsonl             # availability study
     repro report s2.jsonl --artifact fig1 table1 headline
     repro report s4.jsonl --artifact fig6 table3 --client Duke
     repro catalog                                       # Tables IV & V
@@ -46,9 +47,15 @@ from repro.analysis import (
     total_utilization_stats,
     utilization_vs_improvement,
 )
+from repro.analysis.availability import render_availability
 from repro.qa.lint import iter_python_files, lint_paths
 from repro.qa.rules import INVARIANTS, RULES
-from repro.runner import CheckpointError, RunnerError, UnitExecutionError
+from repro.runner import (
+    CheckpointError,
+    RunnerError,
+    UnitExecutionError,
+    execute_plan,
+)
 from repro.trace.store import TraceStore
 from repro.util.tables import render_table
 from repro.workloads.experiment import Section2Study, Section4Study
@@ -110,6 +117,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s4.add_argument("--out", required=True, help="output JSONL path")
     _add_runner_args(s4)
+
+    fl = sub.add_parser(
+        "failures",
+        help="run the availability study (resilient protocol under outages)",
+    )
+    fl.add_argument(
+        "--reps",
+        type=int,
+        default=16,
+        help="transfers per client (cycling healthy/link/node/both injection)",
+    )
+    fl.add_argument("--seed", type=int, default=2007)
+    fl.add_argument("--site", default="eBay", help="target site (default: eBay)")
+    fl.add_argument("--clients", default=None, help="comma-separated client subset")
+    fl.add_argument(
+        "--interval",
+        type=float,
+        default=360.0,
+        help="seconds between a client's transfer starts (default 360)",
+    )
+    fl.add_argument(
+        "--link-mtbf", type=float, default=900.0,
+        help="mean time between direct-link flaps, seconds (default 900)",
+    )
+    fl.add_argument(
+        "--link-duration", type=float, default=150.0,
+        help="mean link-flap length, seconds (default 150)",
+    )
+    fl.add_argument(
+        "--node-mtbf", type=float, default=1800.0,
+        help="mean time between relay crashes, seconds (default 1800)",
+    )
+    fl.add_argument(
+        "--node-duration", type=float, default=240.0,
+        help="mean relay-crash length, seconds (default 240)",
+    )
+    fl.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny deterministic campaign (2 clients x 8 reps) for smoke runs",
+    )
+    fl.add_argument("--out", required=True, help="output JSONL path")
+    _add_runner_args(fl)
 
     rep = sub.add_parser("report", help="render artefacts from a saved store")
     rep.add_argument("store", help="JSONL store written by section2/section4")
@@ -322,6 +372,61 @@ def _cmd_section4(args) -> int:
     return 0
 
 
+def _cmd_failures(args) -> int:
+    from repro.workloads.failures import (
+        FAILURES_SESSION_CONFIG,
+        FailureStudyParams,
+        plan_failures,
+    )
+
+    if args.site not in SITES:
+        print(
+            f"error: unknown site {args.site!r}; choose from {list(SITES)}",
+            file=sys.stderr,
+        )
+        return 2
+    scenario = Scenario.build(
+        ScenarioSpec.section2(sites=(args.site,)), seed=args.seed
+    )
+    clients = _dedupe("clients", _split_csv(args.clients))
+    if clients:
+        missing = [c for c in clients if c not in scenario.client_names]
+        if missing:
+            print(f"error: unknown clients {missing}", file=sys.stderr)
+            return 2
+    reps = args.reps
+    if args.quick:
+        # A fixed tiny campaign: deterministic, covers every injection mode
+        # twice per client, finishes in seconds.
+        reps = 8
+        clients = clients or scenario.client_names[:2]
+    params = FailureStudyParams(
+        link_mtbf=args.link_mtbf,
+        link_mean_duration=args.link_duration,
+        node_mtbf=args.node_mtbf,
+        node_mean_duration=args.node_duration,
+    )
+    plan = plan_failures(
+        scenario,
+        repetitions=reps,
+        interval=args.interval,
+        config=FAILURES_SESSION_CONFIG,
+        params=params,
+        site=args.site,
+        clients=clients,
+    )
+    result = execute_plan(plan, scenario=scenario, **_runner_kwargs(args))
+    store = result.store
+    if store is None:  # pragma: no cover - max_units is not exposed here
+        print("campaign incomplete; resume with --checkpoint/--resume")
+        return 1
+    store.save_jsonl(args.out)
+    print(f"wrote {len(store)} records to {args.out}")
+    print()
+    print(render_availability(store.records))
+    return 0
+
+
 def _render_artifact(name: str, store: TraceStore, *, client: str) -> str:
     if name == "all":
         return full_report(store, table3_client=client)
@@ -493,6 +598,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "section2": _cmd_section2,
         "section4": _cmd_section4,
+        "failures": _cmd_failures,
         "report": _cmd_report,
         "catalog": _cmd_catalog,
         "lint": _cmd_lint,

@@ -18,8 +18,17 @@ from repro.core.probe import (
     ProbeEngine,
     ProbeMode,
     ProbeOutcome,
+    ProbeTimeout,
 )
 from repro.core.random_set import UniformRandomSetPolicy
+from repro.core.resilience import (
+    RecoveryEvent,
+    ResilienceConfig,
+    SessionOutcome,
+    StallWatchdog,
+    WatchVerdict,
+    recovery_time_of,
+)
 from repro.core.session import SessionConfig, SessionResult, TransferSession
 from repro.core.weighted import UtilizationWeightedPolicy
 
@@ -42,6 +51,13 @@ __all__ = [
     "PathPredictor",
     "OraclePredictor",
     "EwmaPredictor",
+    "ProbeTimeout",
+    "ResilienceConfig",
+    "SessionOutcome",
+    "RecoveryEvent",
+    "StallWatchdog",
+    "WatchVerdict",
+    "recovery_time_of",
     "SessionConfig",
     "SessionResult",
     "TransferSession",

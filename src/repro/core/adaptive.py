@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.probe import DEFAULT_PROBE_BYTES, ProbeEngine, ProbeMode, ProbeOutcome
+from repro.core.resilience import StallWatchdog
 from repro.core.session import SessionConfig
 from repro.http.messages import ByteRange, HttpRequest
 from repro.http.transfer import HttpTransfer, issue_download
@@ -219,35 +220,20 @@ class AdaptiveTransferSession:
         budget exhausted (or no expectation to judge against) the transfer
         simply runs to completion.
 
-        The watchdog plants explicit wake-up events: the fluid engine only
+        The sampling loop itself lives in :class:`~repro.core.resilience.
+        StallWatchdog` (shared with the resilient protocol's failover): it
+        plants explicit wake-up events, because the fluid engine only
         generates events at rate changes, so a steadily flowing transfer
         would otherwise never yield control between start and finish.
         """
         cfg = self._config
-        sim = self._network.sim
         if expected <= 0.0 or not allow_switch:
             self._network.run_to_completion(transfer.flow)
             return False
-        threshold = cfg.stall_threshold * expected
-
-        grace_end = sim.now + cfg.grace_period
-        wake = sim.schedule_at(grace_end, lambda: None, name="watchdog-grace")
-        sim.run_until_true(lambda: transfer.done or sim.now >= grace_end)
-        sim.cancel(wake)
-        last_t = sim.now
-        last_d = transfer.flow.delivered_at(last_t)
-        while not transfer.done:
-            check_at = last_t + cfg.check_interval
-            wake = sim.schedule_at(check_at, lambda: None, name="watchdog")
-            sim.run_until_true(lambda: transfer.done or sim.now >= check_at)
-            sim.cancel(wake)
-            if transfer.done:
-                break
-            now = sim.now
-            elapsed = max(now - last_t, 1e-9)
-            delivered = transfer.flow.delivered_at(now)
-            recent = (delivered - last_d) / elapsed
-            last_t, last_d = now, delivered
-            if recent < threshold:
-                return True
-        return False
+        watchdog = StallWatchdog(
+            self._network.sim,
+            stall_threshold=cfg.stall_threshold,
+            check_interval=cfg.check_interval,
+            grace_period=cfg.grace_period,
+        )
+        return watchdog.watch(transfer, expected).stalled

@@ -21,16 +21,25 @@ SEQUENTIAL
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.http.messages import ByteRange, HttpRequest
 from repro.http.transfer import HttpTransfer, TcpParams, issue_download
 from repro.overlay.paths import OverlayPath
+from repro.sim.errors import TransferError
 from repro.tcp.fluid import FluidNetwork
 from repro.util.units import kb
 
-__all__ = ["ProbeMode", "PathProbe", "ProbeOutcome", "ProbeEngine", "DEFAULT_PROBE_BYTES"]
+__all__ = [
+    "ProbeMode",
+    "PathProbe",
+    "ProbeOutcome",
+    "ProbeEngine",
+    "ProbeTimeout",
+    "DEFAULT_PROBE_BYTES",
+]
 
 #: The paper's experimentally determined probe size (100 KB).
 DEFAULT_PROBE_BYTES: float = kb(100)
@@ -41,6 +50,37 @@ class ProbeMode(enum.Enum):
 
     CONCURRENT = "concurrent"
     SEQUENTIAL = "sequential"
+
+
+class ProbeTimeout(TransferError):
+    """No candidate finished its probe before the configured deadline.
+
+    Carries the partial race state so callers (and the availability
+    analysis) can see how far each candidate got before the race was torn
+    down.  Raised only when a finite ``deadline`` was requested; the legacy
+    unbounded race keeps its original failure modes.
+    """
+
+    def __init__(
+        self,
+        *,
+        probes: List["PathProbe"],
+        started_at: float,
+        timed_out_at: float,
+        probe_bytes: float,
+        deadline: float,
+    ):
+        self.probes = probes
+        self.started_at = started_at
+        self.timed_out_at = timed_out_at
+        self.probe_bytes = probe_bytes
+        self.deadline = deadline
+        labels = [p.label for p in probes]
+        super().__init__(
+            f"probe race over {labels} timed out at t={timed_out_at:.6g} "
+            f"({timed_out_at - started_at:.6g}s elapsed, deadline {deadline}s): "
+            "no candidate finished its probe"
+        )
 
 
 @dataclass
@@ -116,6 +156,34 @@ class ProbeOutcome:
                 return p.throughput
         raise KeyError(f"no probe for path {label!r}")
 
+    def estimated_throughput(self, probe: PathProbe) -> float:
+        """Best client-side throughput estimate for one candidate.
+
+        The measured probe throughput when the probe finished; otherwise
+        the bytes the losing probe moved during the race divided by the
+        race duration (0.0 for an instantaneous race).
+        """
+        if probe.measured_throughput is not None:
+            return float(probe.measured_throughput)
+        elapsed = self.decided_at - self.started_at
+        if elapsed <= 0.0:
+            return 0.0
+        return float(probe.transfer.flow.delivered) / elapsed
+
+    def alternates(self) -> List[PathProbe]:
+        """Failover order after the winner: losers by estimate, direct last.
+
+        Mid-transfer failover re-issues the remaining range over the probe
+        runner-up first; the direct path is deliberately kept as the last
+        resort (it is the fallback that needs no overlay infrastructure).
+        Ties preserve candidate order, so the ranking is deterministic.
+        """
+        losers = [p for p in self.probes if p.path.label != self.winner.label]
+        ranked = sorted(losers, key=lambda p: -self.estimated_throughput(p))
+        indirect = [p for p in ranked if p.path.is_indirect]
+        direct = [p for p in ranked if not p.path.is_indirect]
+        return indirect + direct
+
 
 class ProbeEngine:
     """Runs probe rounds on a fluid network.
@@ -159,6 +227,7 @@ class ProbeEngine:
         probe_bytes: float = DEFAULT_PROBE_BYTES,
         mode: ProbeMode = ProbeMode.CONCURRENT,
         offset: int = 0,
+        deadline: Optional[float] = None,
     ) -> ProbeOutcome:
         """Probe ``paths`` for ``resource`` and return the outcome.
 
@@ -170,6 +239,14 @@ class ProbeEngine:
         ``offset`` starts the probe range at ``bytes=offset-`` instead of
         the file head - used by mid-transfer re-probing, where the next
         unread bytes double as probe payload.
+
+        ``deadline`` bounds the race in simulated seconds.  In concurrent
+        mode the whole race shares it; in sequential mode every candidate
+        gets the full budget (the probes run one after another).  When no
+        candidate finishes in time, every probe is torn down and a
+        structured :class:`ProbeTimeout` is raised.  ``None`` (the
+        default) preserves the legacy unbounded behaviour, including the
+        engine's ``TransferError`` on paths that are dead forever.
         """
         if not paths:
             raise ValueError("need at least one candidate path")
@@ -177,12 +254,18 @@ class ProbeEngine:
             raise ValueError(f"probe_bytes must be positive, got {probe_bytes}")
         if offset < 0:
             raise ValueError(f"offset must be >= 0, got {offset}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
         labels = [p.label for p in paths]
         if len(set(labels)) != len(labels):
             raise ValueError(f"candidate paths must be distinct, got {labels}")
         if mode is ProbeMode.CONCURRENT:
-            return self._run_concurrent(list(paths), resource, probe_bytes, offset)
-        return self._run_sequential(list(paths), resource, probe_bytes, offset)
+            return self._run_concurrent(
+                list(paths), resource, probe_bytes, offset, deadline
+            )
+        return self._run_sequential(
+            list(paths), resource, probe_bytes, offset, deadline
+        )
 
     # ------------------------------------------------------------------ #
     def _request_for(
@@ -200,7 +283,12 @@ class ProbeEngine:
         )
 
     def _run_concurrent(
-        self, paths: List[OverlayPath], resource: str, probe_bytes: float, offset: int
+        self,
+        paths: List[OverlayPath],
+        resource: str,
+        probe_bytes: float,
+        offset: int,
+        deadline: Optional[float],
     ) -> ProbeOutcome:
         sim = self._network.sim
         started_at = sim.now
@@ -234,7 +322,36 @@ class ProbeEngine:
             )
             probes.append(PathProbe(path=path, transfer=transfer))
 
-        sim.run_until_true(lambda: state["winner"] is not None)
+        if deadline is None:
+            sim.run_until_true(lambda: state["winner"] is not None)
+        else:
+            deadline_at = started_at + deadline
+
+            def decided() -> bool:
+                return state["winner"] is not None or sim.now >= deadline_at
+
+            wake = sim.schedule_at(deadline_at, lambda: None, name="probe-deadline")
+            try:
+                while not decided():
+                    try:
+                        sim.run_until_true(decided)
+                    except TransferError:
+                        # Every active flow is frozen with no future capacity
+                        # change: no probe can ever finish, so declare the
+                        # timeout now rather than idling to the deadline.
+                        break
+            finally:
+                sim.cancel(wake)
+            if state["winner"] is None:
+                for probe in probes:
+                    probe.transfer.abort(self._network)
+                raise ProbeTimeout(
+                    probes=probes,
+                    started_at=started_at,
+                    timed_out_at=sim.now,
+                    probe_bytes=probe_bytes,
+                    deadline=deadline,
+                )
         winner_probe = state["winner"]
         assert winner_probe is not None
         return ProbeOutcome(
@@ -246,8 +363,15 @@ class ProbeEngine:
         )
 
     def _run_sequential(
-        self, paths: List[OverlayPath], resource: str, probe_bytes: float, offset: int
+        self,
+        paths: List[OverlayPath],
+        resource: str,
+        probe_bytes: float,
+        offset: int,
+        deadline: Optional[float],
     ) -> ProbeOutcome:
+        from repro.core.resilience import advance_until_done
+
         sim = self._network.sim
         started_at = sim.now
         probes: List[PathProbe] = []
@@ -262,7 +386,14 @@ class ProbeEngine:
                 tcp=self._tcp,
                 name=f"probe:{path.label}",
             )
-            self._network.run_to_completion(transfer.flow)
+            if deadline is None:
+                self._network.run_to_completion(transfer.flow)
+            elif not advance_until_done(sim, transfer, sim.now + deadline):
+                # Per-candidate budget exhausted: record the dead probe
+                # (no measurement) and move on to the next candidate.
+                transfer.abort(self._network)
+                probes.append(PathProbe(path=path, transfer=transfer))
+                continue
             true_tput = transfer.throughput()
             probes.append(
                 PathProbe(
@@ -273,7 +404,17 @@ class ProbeEngine:
                     measured_throughput=self._measure(true_tput),
                 )
             )
-        best = max(probes, key=lambda p: p.measured_throughput or 0.0)
+        finished = [p for p in probes if p.won]
+        if not finished:
+            assert deadline is not None  # unbounded probes always finish
+            raise ProbeTimeout(
+                probes=probes,
+                started_at=started_at,
+                timed_out_at=sim.now,
+                probe_bytes=probe_bytes,
+                deadline=deadline,
+            )
+        best = max(finished, key=lambda p: p.measured_throughput or 0.0)
         return ProbeOutcome(
             winner=best.path,
             probes=probes,

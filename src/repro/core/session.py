@@ -19,21 +19,40 @@ Two throughput views are recorded, because the paper uses both:
     The bulk (remainder) phase throughput - the "throughput of the selected
     path", the quantity the paper's improvement statistics compare against
     the direct control client (probe overhead excluded).
+
+With a :class:`~repro.core.resilience.ResilienceConfig` opted in (see
+``SessionConfig.resilience``), the session additionally implements the
+resilient protocol layer: probe races carry a deadline, a stalled or dead
+selected path triggers mid-transfer failover (an HTTP range request for the
+remaining bytes over the probe runner-up, direct as last resort, then
+deterministic exponential backoff + re-probe), and every session reports a
+structured :class:`~repro.core.resilience.SessionOutcome` plus a recovery
+timeline.  The default config reproduces the legacy protocol exactly.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.probe import (
     DEFAULT_PROBE_BYTES,
+    PathProbe,
     ProbeEngine,
     ProbeMode,
     ProbeOutcome,
+    ProbeTimeout,
+)
+from repro.core.resilience import (
+    RecoveryEvent,
+    ResilienceConfig,
+    SessionOutcome,
+    StallWatchdog,
+    advance_until_done,
 )
 from repro.http.messages import ByteRange, HttpRequest
-from repro.http.transfer import TcpParams, issue_download
+from repro.http.transfer import HttpTransfer, TcpParams, issue_download
 from repro.overlay.paths import OverlayPath, OverlayPathBuilder
 from repro.tcp.fluid import FluidNetwork
 
@@ -49,12 +68,17 @@ class SessionConfig:
     (the default) makes selection deterministic; ~0.15 matches the
     estimation error real 100 KB probes exhibit and yields the paper's
     imperfect utilisation/improvement correlation (Table III).
+
+    ``resilience`` selects the protocol's robustness behaviour; the default
+    :class:`~repro.core.resilience.ResilienceConfig` is byte-identical to
+    the pre-resilience protocol (no deadlines, no failover).
     """
 
     probe_bytes: float = DEFAULT_PROBE_BYTES
     probe_mode: ProbeMode = ProbeMode.CONCURRENT
     tcp: TcpParams = TcpParams()
     probe_noise_sigma: float = 0.0
+    resilience: ResilienceConfig = ResilienceConfig()
 
     def __post_init__(self) -> None:
         if self.probe_bytes <= 0:
@@ -63,11 +87,22 @@ class SessionConfig:
             raise ValueError(
                 f"probe_noise_sigma must be >= 0, got {self.probe_noise_sigma}"
             )
+        if not isinstance(self.resilience, ResilienceConfig):
+            raise TypeError(
+                f"resilience must be a ResilienceConfig, got {type(self.resilience)!r}"
+            )
 
 
 @dataclass
 class SessionResult:
-    """Everything observed about one download."""
+    """Everything observed about one download.
+
+    ``outcome`` distinguishes clean completions from recovered and aborted
+    sessions; ``recovery_events`` is the session's recovery timeline (empty
+    for clean completions) and ``bytes_received`` the payload actually
+    delivered (``None`` means "all of ``size``", the only possibility for
+    non-aborted sessions).
+    """
 
     client: str
     server: str
@@ -79,6 +114,9 @@ class SessionResult:
     completed_at: float
     probe: Optional[ProbeOutcome] = None
     remainder_started_at: Optional[float] = None
+    outcome: SessionOutcome = SessionOutcome.COMPLETED
+    recovery_events: Tuple[RecoveryEvent, ...] = ()
+    bytes_received: Optional[float] = None
 
     @property
     def used_indirect(self) -> bool:
@@ -91,11 +129,22 @@ class SessionResult:
         return self.completed_at - self.requested_at
 
     @property
+    def delivered(self) -> float:
+        """Payload bytes the client actually received."""
+        return self.size if self.bytes_received is None else self.bytes_received
+
+    @property
     def end_to_end_throughput(self) -> float:
-        """Whole-session throughput in bytes/second (probe included)."""
+        """Whole-session throughput in bytes/second (probe included).
+
+        Counts delivered bytes, so aborted sessions report their partial
+        goodput.  A degenerate zero-duration (or negative-clock) session
+        reports 0.0 rather than raising - such sessions delivered nothing
+        in no time, and analysis code treats them as zero-throughput.
+        """
         if self.duration <= 0.0:
-            raise ValueError("session has non-positive duration")
-        return self.size / self.duration
+            return 0.0
+        return self.delivered / self.duration
 
     @property
     def transfer_throughput(self) -> float:
@@ -103,9 +152,16 @@ class SessionResult:
 
         For sessions with a remainder phase this is
         ``(n - x) / (remainder time)``; for probe-free or probe-covers-file
-        sessions it equals :attr:`end_to_end_throughput`.
+        sessions it equals :attr:`end_to_end_throughput`.  Aborted sessions
+        fall back to :attr:`end_to_end_throughput` as well (their partial
+        goodput): a bulk phase that never finished has no faithful
+        bulk-rate reading.
         """
-        if self.remainder_started_at is None or self.probe is None:
+        if (
+            self.remainder_started_at is None
+            or self.probe is None
+            or self.outcome is SessionOutcome.ABORTED
+        ):
             return self.end_to_end_throughput
         bulk_bytes = self.size - min(self.probe.probe_bytes, self.size)
         bulk_time = self.completed_at - self.remainder_started_at
@@ -187,7 +243,9 @@ class TransferSession:
         """One selection session: probe direct + ``relays``, fetch remainder.
 
         With an empty ``relays`` the session degenerates to a plain direct
-        download (no probe phase, matching the control client).
+        download (no probe phase, matching the control client).  With
+        resilience enabled, a timed-out probe race yields an ``ABORTED``
+        result and a stalled bulk phase triggers mid-transfer failover.
         """
         if not relays:
             return self.download_direct(client, server, resource)
@@ -197,13 +255,42 @@ class TransferSession:
         ]
         size = float(direct.server.resource_size(resource))
         requested_at = self.now
+        res = self._config.resilience
 
-        outcome = self._probe_engine.run(
-            candidates,
-            resource,
-            probe_bytes=self._config.probe_bytes,
-            mode=self._config.probe_mode,
-        )
+        try:
+            outcome = self._probe_engine.run(
+                candidates,
+                resource,
+                probe_bytes=self._config.probe_bytes,
+                mode=self._config.probe_mode,
+                deadline=res.probe_deadline,
+            )
+        except ProbeTimeout as timeout:
+            events = (
+                RecoveryEvent(
+                    time=timeout.timed_out_at,
+                    kind="probe_timeout",
+                    path="",
+                    bytes_received=0.0,
+                    detail=float(timeout.deadline),
+                ),
+                RecoveryEvent(
+                    time=self.now, kind="abort", path="", bytes_received=0.0
+                ),
+            )
+            return self._checked(SessionResult(
+                client=client,
+                server=server,
+                resource=resource,
+                size=size,
+                offered=tuple(relays),
+                selected_via=None,
+                requested_at=requested_at,
+                completed_at=self.now,
+                outcome=SessionOutcome.ABORTED,
+                recovery_events=events,
+                bytes_received=0.0,
+            ))
         sanitizer = self._network.sim.sanitizer
         if sanitizer is not None:
             sanitizer.check_probe_outcome(outcome, [p.label for p in candidates])
@@ -223,6 +310,18 @@ class TransferSession:
                 completed_at=self.now,
                 probe=outcome,
             ))
+
+        if res.failover:
+            return self._resilient_remainder(
+                client=client,
+                server=server,
+                resource=resource,
+                size=size,
+                relays=tuple(relays),
+                candidates=candidates,
+                requested_at=requested_at,
+                first_outcome=outcome,
+            )
 
         remainder_started_at = self.now
         request = HttpRequest(
@@ -256,6 +355,186 @@ class TransferSession:
         ))
 
     # ------------------------------------------------------------------ #
+    # resilient bulk phase: watchdog + failover + backoff/re-probe
+    # ------------------------------------------------------------------ #
+    def _fetch_range(
+        self, path: OverlayPath, resource: str, offset: int, size: float
+    ) -> HttpTransfer:
+        request = HttpRequest(
+            host=path.server.name,
+            path=resource,
+            byte_range=ByteRange(offset, int(size) - 1),
+            via=path.via,
+        )
+        return issue_download(
+            self._network,
+            path.route,
+            path.server,
+            request,
+            proxy=path.proxy,
+            tcp=self._config.tcp,
+            name=f"remainder:{path.label}@{offset}",
+        )
+
+    def _resilient_remainder(
+        self,
+        *,
+        client: str,
+        server: str,
+        resource: str,
+        size: float,
+        relays: Tuple[str, ...],
+        candidates: List[OverlayPath],
+        requested_at: float,
+        first_outcome: ProbeOutcome,
+    ) -> SessionResult:
+        """Fetch the remaining bytes with stall failover (see module doc).
+
+        State machine per attempt: fetch remaining range over the current
+        path -> watch.  On stall: abort (keeping the delivered prefix, HTTP
+        ranges resume exactly there), switch to the best remaining
+        alternate from the last race (direct last); with alternates
+        exhausted, wait out a deterministic exponential backoff and run a
+        fresh probe race from the current offset (probe bytes are payload).
+        Bounded by ``max_failovers``/``max_reprobes``/``transfer_deadline``.
+        """
+        res = self._config.resilience
+        sim = self._network.sim
+        deadline_at = (
+            math.inf
+            if res.transfer_deadline is None
+            else requested_at + res.transfer_deadline
+        )
+        remainder_started_at = self.now
+        offset = int(min(self._config.probe_bytes, size))
+        current = first_outcome.winner
+        expected = first_outcome.throughput_of(current.label) or 0.0
+        alternates: List[PathProbe] = first_outcome.alternates()
+        race = first_outcome
+        watchdog = StallWatchdog(
+            sim,
+            stall_threshold=res.stall_threshold,
+            check_interval=res.check_interval,
+            grace_period=res.grace_period,
+        )
+        events: List[RecoveryEvent] = []
+        failovers = 0
+        reprobes = 0
+        aborted = False
+
+        while offset < size:
+            transfer = self._fetch_range(current, resource, offset, size)
+            verdict = watchdog.watch(transfer, expected, deadline_at=deadline_at)
+            if not verdict.stalled:
+                offset = int(size)
+                break
+            transfer.abort(self._network)
+            offset = min(offset + int(transfer.flow.delivered), int(size))
+            events.append(RecoveryEvent(
+                time=self.now,
+                kind="stall",
+                path=current.label,
+                bytes_received=float(offset),
+                detail=verdict.idle_seconds,
+            ))
+            if offset >= size:
+                break
+            if verdict.reason == "deadline" or failovers >= res.max_failovers:
+                aborted = True
+                break
+            failovers += 1
+            if alternates:
+                nxt = alternates.pop(0)
+                current = nxt.path
+                expected = race.estimated_throughput(nxt)
+                events.append(RecoveryEvent(
+                    time=self.now,
+                    kind="failover",
+                    path=current.label,
+                    bytes_received=float(offset),
+                ))
+                continue
+            # Alternates exhausted: backoff, then a fresh race from here.
+            if reprobes >= res.max_reprobes:
+                aborted = True
+                break
+            wait = res.backoff_wait(reprobes)
+            reprobes += 1
+            events.append(RecoveryEvent(
+                time=self.now,
+                kind="backoff",
+                path="",
+                bytes_received=float(offset),
+                detail=wait,
+            ))
+            sim.run(until=min(self.now + wait, deadline_at))
+            if self.now >= deadline_at:
+                aborted = True
+                break
+            probe_x = int(min(self._config.probe_bytes, size - offset))
+            try:
+                race = self._probe_engine.run(
+                    candidates,
+                    resource,
+                    probe_bytes=probe_x,
+                    mode=self._config.probe_mode,
+                    offset=offset,
+                    deadline=res.probe_deadline,
+                )
+            except ProbeTimeout as timeout:
+                events.append(RecoveryEvent(
+                    time=timeout.timed_out_at,
+                    kind="probe_timeout",
+                    path="",
+                    bytes_received=float(offset),
+                    detail=float(timeout.deadline),
+                ))
+                aborted = True
+                break
+            sanitizer = self._network.sim.sanitizer
+            if sanitizer is not None:
+                sanitizer.check_probe_outcome(race, [p.label for p in candidates])
+            current = race.winner
+            expected = race.throughput_of(current.label) or 0.0
+            alternates = race.alternates()
+            offset = min(offset + probe_x, int(size))
+            events.append(RecoveryEvent(
+                time=self.now,
+                kind="reprobe",
+                path=current.label,
+                bytes_received=float(offset),
+            ))
+
+        if aborted:
+            events.append(RecoveryEvent(
+                time=self.now,
+                kind="abort",
+                path=current.label,
+                bytes_received=float(offset),
+            ))
+            session_outcome = SessionOutcome.ABORTED
+        elif events:
+            session_outcome = SessionOutcome.FAILED_OVER
+        else:
+            session_outcome = SessionOutcome.COMPLETED
+
+        return self._checked(SessionResult(
+            client=client,
+            server=server,
+            resource=resource,
+            size=size,
+            offered=relays,
+            selected_via=first_outcome.winner.via,
+            requested_at=requested_at,
+            completed_at=self.now,
+            probe=first_outcome,
+            remainder_started_at=remainder_started_at,
+            outcome=session_outcome,
+            recovery_events=tuple(events),
+            bytes_received=float(offset) if aborted else None,
+        ))
+
+    # ------------------------------------------------------------------ #
     def _checked(self, result: SessionResult) -> SessionResult:
         """Run the sanitizer's session post-conditions when installed."""
         sanitizer = self._network.sim.sanitizer
@@ -278,7 +557,18 @@ class TransferSession:
             tcp=self._config.tcp,
             name=f"full:{path.label}",
         )
-        self._network.run_to_completion(transfer.flow)
+        deadline = self._config.resilience.transfer_deadline
+        aborted = False
+        if deadline is None:
+            self._network.run_to_completion(transfer.flow)
+        elif not advance_until_done(
+            self._network.sim, transfer, requested_at + deadline
+        ):
+            # Deadline passed (or the path is provably dead forever):
+            # bounded abort with whatever prefix arrived.
+            transfer.abort(self._network)
+            aborted = True
+        received = float(transfer.flow.delivered)
         return self._checked(SessionResult(
             client=client,
             server=server,
@@ -288,4 +578,14 @@ class TransferSession:
             selected_via=path.via,
             requested_at=requested_at,
             completed_at=self.now,
+            outcome=SessionOutcome.ABORTED if aborted else SessionOutcome.COMPLETED,
+            recovery_events=(
+                RecoveryEvent(
+                    time=self.now,
+                    kind="abort",
+                    path=path.label,
+                    bytes_received=received,
+                ),
+            ) if aborted else (),
+            bytes_received=received if aborted else None,
         ))

@@ -9,7 +9,15 @@ from repro.net.capacity import (
     MarkovModulatedCapacity,
     TraceReplayCapacity,
 )
-from repro.net.failures import Outage, OutageGenerator, apply_outages, total_downtime
+from repro.net.failures import (
+    Outage,
+    OutageGenerator,
+    apply_outages,
+    merge_outage_plans,
+    node_outage_plan,
+    node_wan_links,
+    total_downtime,
+)
 from repro.net.latency import DEFAULT_ONE_WAY_DELAYS, REGIONS, LatencyModel
 from repro.net.link import Link
 from repro.net.node import Node, NodeKind
@@ -30,6 +38,9 @@ __all__ = [
     "OutageGenerator",
     "apply_outages",
     "total_downtime",
+    "node_wan_links",
+    "node_outage_plan",
+    "merge_outage_plans",
     "LatencyModel",
     "REGIONS",
     "DEFAULT_ONE_WAY_DELAYS",

@@ -10,19 +10,36 @@ An :class:`Outage` zeroes a link's capacity for an interval;
 :func:`apply_outages` rewrites a capacity trace accordingly, and
 :class:`OutageGenerator` draws Poisson outage processes (exponential
 inter-failure gaps and repair times), the standard availability model.
+
+Failures come at two granularities.  A *link flap* kills one WAN segment; a
+*node (relay) crash* kills **every** WAN segment through that node at once -
+correlated downtime that one-hop detours through the crashed relay cannot
+mask.  :func:`node_wan_links` enumerates a node's WAN segments,
+:func:`node_outage_plan` expands node crashes into the per-link outage map
+the scenario layer consumes, and :func:`merge_outage_plans` combines link-
+and node-level plans (coalescing overlaps, which `apply_outages` forbids).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 import numpy as np
 
+from repro.net.link import Link
 from repro.net.trace import CapacityTrace
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["Outage", "apply_outages", "OutageGenerator", "total_downtime"]
+__all__ = [
+    "Outage",
+    "apply_outages",
+    "OutageGenerator",
+    "total_downtime",
+    "node_wan_links",
+    "node_outage_plan",
+    "merge_outage_plans",
+]
 
 
 @dataclass(frozen=True)
@@ -50,7 +67,11 @@ def apply_outages(trace: CapacityTrace, outages: Sequence[Outage]) -> CapacityTr
 
     Outages must be non-overlapping (as produced by
     :class:`OutageGenerator`); the underlying capacity resumes at each
-    outage's end (right-continuous semantics preserved).
+    outage's end (right-continuous semantics preserved).  Back-to-back
+    outages (``prev.end == next.start``) and outages starting at or past
+    the trace's last breakpoint are fine: the rewritten trace never carries
+    duplicate or value-repeating breakpoints, so its zero-capacity measure
+    over any window equals :func:`total_downtime` over the same window.
     """
     if not outages:
         return trace
@@ -98,7 +119,19 @@ def apply_outages(trace: CapacityTrace, outages: Sequence[Outage]) -> CapacityTr
             new_times.append(outage.end)
             new_values.append(resumed_value)
         times, values = new_times, new_values
-    return CapacityTrace(times, values)
+    # Coalesce value-repeating breakpoints: rewriting around back-to-back
+    # outages leaves a redundant 0.0 -> 0.0 breakpoint at the seam (and a
+    # resume into an equal underlying value does the same).  They carry no
+    # capacity information but would surface as spurious engine re-tick
+    # points, so drop them.
+    kept_times = [times[0]]
+    kept_values = [values[0]]
+    for t, v in zip(times[1:], values[1:]):
+        if v == kept_values[-1]:
+            continue
+        kept_times.append(t)
+        kept_values.append(v)
+    return CapacityTrace(kept_times, kept_values)
 
 
 @dataclass(frozen=True)
@@ -145,3 +178,68 @@ def total_downtime(outages: Iterable[Outage], t0: float, t1: float) -> float:
     for o in outages:
         down += max(0.0, min(o.end, t1) - max(o.start, t0))
     return down
+
+
+# --------------------------------------------------------------------------- #
+# node-level (relay crash) failures
+# --------------------------------------------------------------------------- #
+def node_wan_links(links: Iterable[Link], node: str) -> List[str]:
+    """Names of every WAN segment through ``node``, in iteration order.
+
+    WAN segments are the links with distinct endpoints; access links (which
+    use the node name for both ends) model the *local* pipe and survive a
+    relay crash, so they are excluded.  An empty result means the node has
+    no WAN presence (e.g. a pure client behind its access link).
+    """
+    if not node:
+        raise ValueError("node name must be non-empty")
+    return [
+        link.name
+        for link in links
+        if link.src != link.dst and node in (link.src, link.dst)
+    ]
+
+
+def node_outage_plan(
+    links: Iterable[Link], node: str, outages: Sequence[Outage]
+) -> Dict[str, List[Outage]]:
+    """Expand node crashes into the per-link outage map scenarios consume.
+
+    Every outage interval takes down **all** WAN segments through ``node``
+    simultaneously - the correlated-failure signature that distinguishes a
+    relay crash from an independent link flap.  Raises when the node has no
+    WAN segments (a crash there would silently do nothing).
+    """
+    wan = node_wan_links(links, node)
+    if not wan:
+        raise ValueError(f"node {node!r} has no WAN links to take down")
+    return {name: list(outages) for name in wan}
+
+
+def merge_outage_plans(
+    *plans: Mapping[str, Sequence[Outage]],
+) -> Dict[str, List[Outage]]:
+    """Union per-link outage plans, coalescing overlapping intervals.
+
+    Link-flap and node-crash processes are sampled independently, so the
+    same link can appear in several plans with overlapping outages - which
+    :func:`apply_outages` rejects.  The merge unions the intervals per link
+    (touching intervals fuse into one), yielding a plan that is safe to
+    apply and whose :func:`total_downtime` is the measure of the union.
+    """
+    merged: Dict[str, List[Outage]] = {}
+    for plan in plans:
+        for name, outages in plan.items():
+            merged.setdefault(name, []).extend(outages)
+    for name, outages in merged.items():
+        ordered = sorted(outages, key=lambda o: (o.start, o.end))
+        fused: List[Outage] = []
+        for o in ordered:
+            if fused and o.start <= fused[-1].end:
+                last = fused[-1]
+                if o.end > last.end:
+                    fused[-1] = Outage(last.start, o.end - last.start)
+            else:
+                fused.append(o)
+        merged[name] = fused
+    return merged

@@ -316,6 +316,45 @@ class Sanitizer:
                 measured=float(result.size),
                 limit=0.0,
             )
+        # Resilient-protocol post-conditions (fields absent on legacy-shaped
+        # results are treated as their defaults).
+        events = tuple(getattr(result, "recovery_events", ()) or ())
+        prev_time = float(result.requested_at)
+        for event in events:
+            if not (result.requested_at <= event.time <= result.completed_at):
+                self._report(
+                    "QA-R005",
+                    now,
+                    f"{result.client}->{result.server}",
+                    f"recovery event {event.kind!r} at t={event.time!r} lies "
+                    f"outside the session interval "
+                    f"[{result.requested_at!r}, {result.completed_at!r}]",
+                    measured=float(event.time),
+                )
+            if event.time < prev_time:
+                self._report(
+                    "QA-R005",
+                    now,
+                    f"{result.client}->{result.server}",
+                    f"recovery timeline is not time-ordered: {event.kind!r} "
+                    f"at t={event.time!r} precedes t={prev_time!r}",
+                    measured=float(event.time),
+                    limit=prev_time,
+                )
+            prev_time = float(event.time)
+        bytes_received = getattr(result, "bytes_received", None)
+        if bytes_received is not None and not (
+            0.0 <= bytes_received <= result.size
+        ):
+            self._report(
+                "QA-R005",
+                now,
+                f"{result.client}->{result.server}",
+                f"session reported {bytes_received!r} bytes received for a "
+                f"{result.size!r}-byte resource",
+                measured=float(bytes_received),
+                limit=float(result.size),
+            )
 
     # ------------------------------------------------------------------ #
     def summary(self) -> str:

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.policy import SelectionPolicy
+from repro.core.resilience import ResilienceConfig
 from repro.core.session import SessionConfig
 from repro.workloads.scenario import Scenario, ScenarioSpec
 
@@ -58,6 +59,21 @@ def _json_default(obj: Any) -> Any:
     raise TypeError(f"cannot canonicalise {type(obj)!r} for hashing")
 
 
+def _config_payload(config: SessionConfig) -> dict:
+    """Fingerprint rendering of the session config.
+
+    A default (legacy-equivalent) resilience block is omitted so that
+    campaigns planned before the resilience layer existed keep their
+    fingerprints - the default config is behaviourally byte-identical, and
+    stamping it into the hash would orphan every existing checkpoint for
+    no reason.  Any non-default resilience setting *is* hashed.
+    """
+    d = dataclasses.asdict(config)
+    if d.get("resilience") == dataclasses.asdict(ResilienceConfig()):
+        del d["resilience"]
+    return d
+
+
 @dataclass(frozen=True)
 class WorkUnit:
     """One atomic paired measurement, fully determined at planning time.
@@ -76,21 +92,27 @@ class WorkUnit:
     start_time: float
     offered: Tuple[str, ...]
     set_size_label: Optional[int] = None
+    #: Study-specific discriminator (e.g. the failure study's injection
+    #: mode); ``None`` for the classic §2/§4 campaigns.
+    variant: Optional[str] = None
 
     @property
     def unit_id(self) -> str:
         """Content hash of the unit (independent of its plan position)."""
-        payload = _canonical(
-            {
-                "study": self.study,
-                "client": self.client,
-                "site": self.site,
-                "repetition": self.repetition,
-                "start_time": repr(self.start_time),
-                "offered": list(self.offered),
-                "set_size_label": self.set_size_label,
-            }
-        )
+        payload_dict = {
+            "study": self.study,
+            "client": self.client,
+            "site": self.site,
+            "repetition": self.repetition,
+            "start_time": repr(self.start_time),
+            "offered": list(self.offered),
+            "set_size_label": self.set_size_label,
+        }
+        # Variant-free units hash exactly as they did before the field
+        # existed, keeping historical checkpoints resumable.
+        if self.variant is not None:
+            payload_dict["variant"] = self.variant
+        payload = _canonical(payload_dict)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     @property
@@ -115,6 +137,9 @@ class CampaignPlan:
     seed: int
     config: SessionConfig
     units: Tuple[WorkUnit, ...]
+    #: Study-specific plan-level parameters (a dataclass), shipped to every
+    #: worker and hashed into the fingerprint; ``None`` for §2/§4 plans.
+    extra: Optional[Any] = None
 
     def __post_init__(self) -> None:
         for pos, unit in enumerate(self.units):
@@ -136,16 +161,18 @@ class CampaignPlan:
         fingerprint, which is exactly the condition under which resuming a
         checkpoint would silently mix incompatible measurements.
         """
-        payload = _canonical(
-            {
-                "version": 1,
-                "study": self.study,
-                "seed": self.seed,
-                "scenario": dataclasses.asdict(self.scenario_spec),
-                "config": dataclasses.asdict(self.config),
-                "units": [u.unit_id for u in self.units],
-            }
-        )
+        payload_dict = {
+            "version": 1,
+            "study": self.study,
+            "seed": self.seed,
+            "scenario": dataclasses.asdict(self.scenario_spec),
+            "config": _config_payload(self.config),
+            "units": [u.unit_id for u in self.units],
+        }
+        # Extra-free plans hash exactly as version 1 always did.
+        if self.extra is not None:
+            payload_dict["extra"] = dataclasses.asdict(self.extra)
+        payload = _canonical(payload_dict)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

@@ -115,9 +115,22 @@ class ExecutionResult:
 
 
 def run_unit(
-    scenario: Scenario, config: SessionConfig, unit: WorkUnit
+    scenario: Scenario,
+    config: SessionConfig,
+    unit: WorkUnit,
+    extra: Optional[Any] = None,
 ) -> TransferRecord:
-    """Execute one work unit (the default unit runner, used by workers)."""
+    """Execute one work unit (the default unit runner, used by workers).
+
+    Units carrying a ``variant`` belong to a study with its own runner
+    (currently the failure study) and are dispatched there together with
+    the plan's ``extra`` parameters; plain units run the classic paired
+    transfer.
+    """
+    if unit.variant is not None:
+        from repro.workloads.failures import run_failure_unit
+
+        return run_failure_unit(scenario, config, unit, extra)
     from repro.workloads.experiment import run_paired_transfer
 
     record = run_paired_transfer(
@@ -143,6 +156,7 @@ def _worker_main(
     spec: Any,
     seed: int,
     config: SessionConfig,
+    extra: Any,
     task_q: Any,
     result_q: Any,
 ) -> None:
@@ -162,7 +176,7 @@ def _worker_main(
         if unit is None:
             return
         try:
-            record = run_unit(scenario, config, unit)
+            record = run_unit(scenario, config, unit, extra)
         except BaseException:
             result_q.put(("err", worker_id, unit.index, traceback.format_exc()))
         else:
@@ -283,7 +297,15 @@ def _spawn_worker(
     task_q = ctx.Queue(maxsize=QUEUE_DEPTH)
     process = ctx.Process(
         target=_worker_main,
-        args=(worker_id, plan.scenario_spec, plan.seed, plan.config, task_q, result_q),
+        args=(
+            worker_id,
+            plan.scenario_spec,
+            plan.seed,
+            plan.config,
+            plan.extra,
+            task_q,
+            result_q,
+        ),
         daemon=True,
         name=f"repro-runner-{worker_id}",
     )
@@ -552,7 +574,13 @@ def execute_plan(
         reporter.start()
         if pending:
             if jobs == 1:
-                _run_inline(state, pending, scenario, run_unit_fn or run_unit)
+
+                def _default_fn(
+                    s: Scenario, c: SessionConfig, u: WorkUnit
+                ) -> TransferRecord:
+                    return run_unit(s, c, u, plan.extra)
+
+                _run_inline(state, pending, scenario, run_unit_fn or _default_fn)
             else:
                 _run_parallel(state, pending, jobs=jobs, unit_timeout=unit_timeout)
     except KeyboardInterrupt:

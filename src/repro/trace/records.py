@@ -4,14 +4,26 @@ A :class:`TransferRecord` captures everything the paper's analysis needs
 about one experiment repetition: what was offered, what was chosen, and the
 throughputs both clients observed.  Records are plain data - the analysis
 layer derives improvements, penalties and utilisations from them.
+
+Studies that need more columns subclass :class:`TransferRecord` and register
+under a ``record_type`` tag (see :class:`FailureRecord`): serialised rows of
+a subclass carry the tag, while plain rows stay exactly as before, so old
+artefacts and checkpoints load unchanged and `TransferRecord.from_dict`
+round-trips every registered type from a single entry point.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
-__all__ = ["TransferRecord"]
+from repro.core.resilience import RecoveryEvent
+
+__all__ = ["TransferRecord", "FailureRecord"]
+
+#: record_type tag -> record class, for :meth:`TransferRecord.from_dict`.
+_RECORD_TYPES: Dict[str, Type["TransferRecord"]] = {}
 
 
 @dataclass(frozen=True)
@@ -49,6 +61,9 @@ class TransferRecord:
     direct_class / direct_variability:
         The client's ground-truth profile (for Table I filtering).
     """
+
+    #: Serialisation tag; subclasses override and register below.
+    RECORD_TYPE: ClassVar[str] = "transfer"
 
     study: str
     client: str
@@ -129,14 +144,131 @@ class TransferRecord:
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        """Serialise to plain JSON-compatible types."""
+        """Serialise to plain JSON-compatible types.
+
+        Plain :class:`TransferRecord` rows carry no type tag (their wire
+        format predates the registry and must stay byte-identical);
+        subclasses are tagged with their ``record_type``.
+        """
         d = asdict(self)
         d["offered"] = list(self.offered)
+        if type(self) is not TransferRecord:
+            d["record_type"] = type(self).RECORD_TYPE
         return d
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "TransferRecord":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` for any registered record type."""
         d = dict(d)
+        tag = d.pop("record_type", None)
+        if tag is not None and tag != cls.RECORD_TYPE:
+            try:
+                target = _RECORD_TYPES[tag]
+            except KeyError:
+                raise ValueError(f"unknown record_type {tag!r}") from None
+            return target._decode(d)
+        return cls._decode(d)
+
+    @classmethod
+    def _decode(cls, d: Dict[str, Any]) -> "TransferRecord":
+        """Rebuild from a tag-free field dict; subclasses extend."""
         d["offered"] = tuple(d["offered"])
         return cls(**d)
+
+
+@dataclass(frozen=True)
+class FailureRecord(TransferRecord):
+    """One paired measurement from the failure/availability study.
+
+    Extends :class:`TransferRecord` with the resilient protocol's outcome
+    data.  Unlike the base record, zero throughputs and durations are legal
+    here - an aborted session delivered nothing, and that is precisely the
+    signal the availability analysis aggregates.
+
+    Attributes
+    ----------
+    failure_mode:
+        What was injected for this unit: ``"none"``, ``"link"`` (direct WAN
+        flap), ``"node"`` (relay crash) or ``"both"``.
+    outcome / direct_outcome:
+        :class:`~repro.core.resilience.SessionOutcome` values of the
+        selector and control sessions (as strings, for the wire format).
+    n_failovers / n_reprobes:
+        Recovery actions the selector session took.
+    bytes_received:
+        Payload the selector actually delivered (equals ``file_bytes``
+        unless the session aborted).
+    direct_duration / selected_duration:
+        Wall durations of the control and selector sessions, seconds.
+    time_to_recover:
+        Seconds from the selector's first stall to the recovery action that
+        answered it; NaN when it never stalled or never recovered.
+    outage_overlap:
+        True when the control session overlapped an injected outage.
+    recovery_events:
+        The selector session's recovery timeline.
+    """
+
+    RECORD_TYPE: ClassVar[str] = "failure"
+
+    failure_mode: str = "none"
+    outcome: str = "completed"
+    direct_outcome: str = "completed"
+    n_failovers: int = 0
+    n_reprobes: int = 0
+    bytes_received: float = 0.0
+    direct_duration: float = 0.0
+    selected_duration: float = 0.0
+    time_to_recover: float = math.nan
+    outage_overlap: bool = False
+    recovery_events: Tuple[RecoveryEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Deliberately looser than the base class: failure studies produce
+        # legitimate zero-throughput (aborted) rows.
+        if self.direct_throughput < 0.0:
+            raise ValueError("direct_throughput must be >= 0")
+        if self.selected_throughput < 0.0:
+            raise ValueError("selected_throughput must be >= 0")
+        if self.selected_via is not None and self.selected_via not in self.offered:
+            raise ValueError(
+                f"selected relay {self.selected_via!r} not in offered set {self.offered}"
+            )
+
+    @property
+    def aborted(self) -> bool:
+        """True when the selector session gave up."""
+        return self.outcome == "aborted"
+
+    @property
+    def recovered(self) -> bool:
+        """True when the selector completed only via recovery actions."""
+        return self.outcome == "failed_over"
+
+    @property
+    def speedup(self) -> float:
+        """Control duration / selector duration (>1 = selector faster).
+
+        NaN when either duration is non-positive (degenerate or aborted
+        sessions have no meaningful duration ratio) - never raises.
+        """
+        if self.selected_duration <= 0.0 or self.direct_duration <= 0.0:
+            return math.nan
+        return self.direct_duration / self.selected_duration
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = super().to_dict()
+        d["recovery_events"] = [e.to_dict() for e in self.recovery_events]
+        return d
+
+    @classmethod
+    def _decode(cls, d: Dict[str, Any]) -> "FailureRecord":
+        d["offered"] = tuple(d["offered"])
+        d["recovery_events"] = tuple(
+            RecoveryEvent.from_dict(e) for e in d.get("recovery_events", ())
+        )
+        return cls(**d)
+
+
+_RECORD_TYPES[TransferRecord.RECORD_TYPE] = TransferRecord
+_RECORD_TYPES[FailureRecord.RECORD_TYPE] = FailureRecord

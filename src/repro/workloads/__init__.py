@@ -11,7 +11,18 @@ from repro.workloads.counterfactual import (
     run_counterfactual_study,
     run_counterfactual_transfer,
 )
-from repro.workloads.failures import FailureStudy, FailureTransferRecord, MaskingStats
+from repro.workloads.failures import (
+    FAILURE_MODES,
+    FAILURES_RESILIENCE,
+    FAILURES_SESSION_CONFIG,
+    FailureStudy,
+    FailureStudyParams,
+    FailureTransferRecord,
+    MaskingStats,
+    failure_outage_plan,
+    plan_failures,
+    run_failure_unit,
+)
 from repro.workloads.monitored import MonitoredStudy
 from repro.workloads.contention import ContentionSpec, run_contended_pair
 from repro.workloads.experiment import (
@@ -71,6 +82,13 @@ __all__ = [
     "FailureStudy",
     "FailureTransferRecord",
     "MaskingStats",
+    "FAILURE_MODES",
+    "FAILURES_RESILIENCE",
+    "FAILURES_SESSION_CONFIG",
+    "FailureStudyParams",
+    "failure_outage_plan",
+    "plan_failures",
+    "run_failure_unit",
     "MonitoredStudy",
     "SensitivityPoint",
     "calibration_sensitivity",

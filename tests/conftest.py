@@ -45,6 +45,7 @@ class MiniWorld:
         file_mb: float = 4.0,
         client_region: str = "europe",
         direct_trace: Optional[CapacityTrace] = None,
+        relay_traces: Optional[Dict[str, CapacityTrace]] = None,
     ):
         relay_mbps = relay_mbps if relay_mbps is not None else {"R1": 2.0}
         topo = Topology()
@@ -68,7 +69,10 @@ class MiniWorld:
                 name, CapacityTrace.constant(mbps_to_bytes_per_s(50.0))
             )
             topo.add_wan_link("S", name, CapacityTrace.constant(mbps_to_bytes_per_s(40.0)))
-            topo.add_wan_link(name, "C", CapacityTrace.constant(mbps_to_bytes_per_s(rate)))
+            overlay_trace = (relay_traces or {}).get(name)
+            if overlay_trace is None:
+                overlay_trace = CapacityTrace.constant(mbps_to_bytes_per_s(rate))
+            topo.add_wan_link(name, "C", overlay_trace)
             registry.deploy(name)
         registry.register_origin_everywhere(server)
         topo.validate()

@@ -301,3 +301,42 @@ class TestFullReport:
         from repro.trace.store import TraceStore
 
         assert "empty" in full_report(TraceStore())
+
+
+class TestFailuresCommand:
+    def test_quick_run_writes_store_and_report(self, tmp_path, capsys):
+        out = tmp_path / "failures.jsonl"
+        rc = main(["failures", "--quick", "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        from repro.trace.records import FailureRecord
+        from repro.trace.store import TraceStore
+
+        store = TraceStore.load_jsonl(out)
+        assert len(store) == 16  # 2 quick clients x 8 repetitions
+        assert all(isinstance(r, FailureRecord) for r in store.records)
+        modes = {r.failure_mode for r in store.records}
+        assert modes == {"none", "link", "node", "both"}
+        text = capsys.readouterr().out
+        assert "Availability study" in text
+        assert "availability:" in text
+
+    def test_unknown_site_rejected(self, tmp_path, capsys):
+        rc = main(
+            ["failures", "--site", "AltaVista", "--out", str(tmp_path / "x.jsonl")]
+        )
+        assert rc == 2
+        assert "unknown site" in capsys.readouterr().err
+
+    def test_unknown_client_rejected(self, tmp_path, capsys):
+        rc = main(
+            [
+                "failures",
+                "--clients",
+                "Narnia",
+                "--out",
+                str(tmp_path / "x.jsonl"),
+            ]
+        )
+        assert rc == 2
+        assert "unknown clients" in capsys.readouterr().err

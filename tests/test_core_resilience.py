@@ -1,0 +1,229 @@
+"""Resilience primitive tests: events, config, watchdog, deadline helpers."""
+
+import math
+
+import pytest
+
+from repro.core.resilience import (
+    RECOVERY_EVENT_KINDS,
+    RecoveryEvent,
+    ResilienceConfig,
+    SessionOutcome,
+    StallWatchdog,
+    advance_until_done,
+    recovery_time_of,
+)
+from repro.http.messages import HttpRequest
+from repro.http.transfer import issue_download
+from repro.net.trace import CapacityTrace
+from repro.util.units import mbps_to_bytes_per_s
+
+
+def _start_direct(world, net, tcp):
+    """Issue a full-file download over the world's direct path."""
+    path = world.builder.direct("C", "S")
+    request = HttpRequest(host="S", path="/f")
+    return issue_download(
+        net, path.route, path.server, request, proxy=path.proxy, tcp=tcp, name="t"
+    )
+
+
+class TestRecoveryEvent:
+    def test_round_trip(self):
+        e = RecoveryEvent(time=3.5, kind="stall", path="R1", bytes_received=1e5, detail=4.0)
+        assert RecoveryEvent.from_dict(e.to_dict()) == e
+
+    def test_all_kinds_valid(self):
+        for kind in RECOVERY_EVENT_KINDS:
+            RecoveryEvent(time=0.0, kind=kind, path="", bytes_received=0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown recovery event kind"):
+            RecoveryEvent(time=0.0, kind="panic", path="", bytes_received=0.0)
+
+
+class TestSessionOutcome:
+    def test_wire_values(self):
+        assert SessionOutcome.COMPLETED.value == "completed"
+        assert SessionOutcome.FAILED_OVER.value == "failed_over"
+        assert SessionOutcome.ABORTED.value == "aborted"
+
+
+class TestResilienceConfig:
+    def test_defaults_are_legacy(self):
+        cfg = ResilienceConfig()
+        assert cfg.probe_deadline is None
+        assert not cfg.failover
+        assert cfg.transfer_deadline is None
+
+    def test_backoff_is_deterministic_exponential(self):
+        cfg = ResilienceConfig(backoff_base=2.0, backoff_factor=2.0)
+        assert [cfg.backoff_wait(k) for k in range(3)] == [2.0, 4.0, 8.0]
+        with pytest.raises(ValueError):
+            cfg.backoff_wait(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"probe_deadline": 0.0},
+            {"stall_threshold": 1.5},
+            {"check_interval": 0.0},
+            {"grace_period": -1.0},
+            {"max_failovers": -1},
+            {"max_reprobes": -1},
+            {"backoff_base": 0.0},
+            {"backoff_factor": 0.5},
+            {"transfer_deadline": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilienceConfig(**kwargs)
+
+
+class TestRecoveryTimeOf:
+    def _ev(self, t, kind, detail=0.0):
+        return RecoveryEvent(time=t, kind=kind, path="", bytes_received=0.0, detail=detail)
+
+    def test_no_events_is_nan(self):
+        assert math.isnan(recovery_time_of([]))
+
+    def test_unanswered_stall_is_nan(self):
+        events = [self._ev(10.0, "stall", detail=4.0), self._ev(12.0, "abort")]
+        assert math.isnan(recovery_time_of(events))
+
+    def test_stall_then_failover(self):
+        events = [self._ev(10.0, "stall", detail=4.0), self._ev(15.0, "failover")]
+        assert recovery_time_of(events) == pytest.approx(9.0)
+
+    def test_backoff_gap_counts_toward_reprobe(self):
+        events = [
+            self._ev(10.0, "stall", detail=2.0),
+            self._ev(10.0, "backoff", detail=4.0),
+            self._ev(16.0, "reprobe"),
+        ]
+        assert recovery_time_of(events) == pytest.approx(8.0)
+
+    def test_first_stall_wins(self):
+        events = [
+            self._ev(10.0, "stall", detail=1.0),
+            self._ev(11.0, "failover"),
+            self._ev(30.0, "stall", detail=5.0),
+            self._ev(40.0, "failover"),
+        ]
+        assert recovery_time_of(events) == pytest.approx(2.0)
+
+
+class TestAdvanceUntilDone:
+    def test_completes_before_deadline(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=8.0)
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        assert advance_until_done(sim, transfer, 1000.0)
+        assert transfer.done
+
+    def test_deadline_cuts_off_slow_transfer(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=1.0)  # 4 MB at 1 Mbps takes ~32 s
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        assert not advance_until_done(sim, transfer, 5.0)
+        assert sim.now == pytest.approx(5.0)
+        assert 0.0 < transfer.flow.delivered < transfer.flow.size
+
+    def test_frozen_engine_returns_early(self, mini_world, fast_tcp):
+        rate = mbps_to_bytes_per_s(8.0)
+        w = mini_world(direct_trace=CapacityTrace([0.0, 2.0], [rate, 0.0]))
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        assert not advance_until_done(sim, transfer, 1000.0)
+        assert sim.now < 1000.0  # did not idle to the deadline
+
+    def test_infinite_deadline_rejected(self, mini_world, fast_tcp):
+        w = mini_world()
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        with pytest.raises(ValueError, match="finite"):
+            advance_until_done(sim, transfer, math.inf)
+
+    def test_past_deadline_returns_false(self, mini_world, fast_tcp):
+        w = mini_world()
+        sim, net, _ = w.universe(start_time=10.0)
+        transfer = _start_direct(w, net, fast_tcp)
+        assert not advance_until_done(sim, transfer, 5.0)
+        assert sim.now == 10.0
+
+
+class TestStallWatchdog:
+    def _watchdog(self, sim, **overrides):
+        kwargs = dict(stall_threshold=0.5, check_interval=4.0, grace_period=3.0)
+        kwargs.update(overrides)
+        return StallWatchdog(sim, **kwargs)
+
+    def test_validation(self, mini_world):
+        sim, _, _ = mini_world().universe()
+        with pytest.raises(ValueError):
+            StallWatchdog(sim, stall_threshold=2.0, check_interval=4.0, grace_period=3.0)
+        with pytest.raises(ValueError):
+            StallWatchdog(sim, stall_threshold=0.5, check_interval=0.0, grace_period=3.0)
+
+    def test_healthy_transfer_completes(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=8.0)
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        verdict = self._watchdog(sim).watch(transfer, mbps_to_bytes_per_s(4.0) / 8.0)
+        assert not verdict.stalled
+        assert verdict.reason == "completed"
+        assert transfer.done
+
+    def test_slow_path_trips_threshold(self, mini_world, fast_tcp):
+        # Path drops from 8 Mbps to a trickle at t=2 but revives much later,
+        # so the engine never freezes: the throughput threshold must fire.
+        rate = mbps_to_bytes_per_s(8.0)
+        trace = CapacityTrace([0.0, 2.0, 5000.0], [rate, rate / 1000.0, rate])
+        w = mini_world(direct_trace=trace)
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        verdict = self._watchdog(sim).watch(transfer, rate)
+        assert verdict.stalled
+        assert verdict.reason == "stall"
+        assert sim.now < 100.0  # detected promptly, not at the revival
+
+    def test_frozen_engine_detected(self, mini_world, fast_tcp):
+        rate = mbps_to_bytes_per_s(8.0)
+        w = mini_world(direct_trace=CapacityTrace([0.0, 2.0], [rate, 0.0]))
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        verdict = self._watchdog(sim).watch(transfer, rate)
+        assert verdict.stalled
+        assert verdict.reason == "frozen"
+
+    def test_zero_progress_rule_without_expectation(self, mini_world, fast_tcp):
+        # Dead-but-reviving path with expected=0: only the zero-progress
+        # rule applies, and it must still catch the stall.
+        rate = mbps_to_bytes_per_s(8.0)
+        trace = CapacityTrace([0.0, 2.0, 5000.0], [rate, 0.0, rate])
+        w = mini_world(direct_trace=trace)
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        verdict = self._watchdog(sim).watch(transfer, 0.0)
+        assert verdict.stalled
+        assert verdict.reason == "stall"
+        assert verdict.idle_seconds > 0.0
+
+    def test_deadline_verdict(self, mini_world, fast_tcp):
+        w = mini_world(direct_mbps=1.0)  # too slow to finish in 6 s
+        sim, net, _ = w.universe()
+        transfer = _start_direct(w, net, fast_tcp)
+        verdict = self._watchdog(sim).watch(transfer, 0.0, deadline_at=6.0)
+        assert verdict.stalled
+        assert verdict.reason == "deadline"
+        assert sim.now == pytest.approx(6.0)
+
+    def test_expired_deadline_short_circuits(self, mini_world, fast_tcp):
+        w = mini_world()
+        sim, net, _ = w.universe(start_time=10.0)
+        transfer = _start_direct(w, net, fast_tcp)
+        verdict = self._watchdog(sim).watch(transfer, 0.0, deadline_at=10.0)
+        assert verdict.stalled
+        assert verdict.reason == "deadline"
+        assert sim.now == 10.0

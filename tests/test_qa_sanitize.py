@@ -271,3 +271,54 @@ class TestReadOnly:
         assert fa_on.completed_at == fa_off.completed_at
         assert fb_on.completed_at == fb_off.completed_at
         assert fa_on.delivered == fa_off.delivered
+
+
+class TestSessionResultChecks:
+    """QA-R005 post-conditions over the resilient session fields."""
+
+    def _result(self, **overrides):
+        from repro.core.session import SessionResult
+
+        kwargs = dict(
+            client="C", server="S", resource="/f", size=1000.0,
+            offered=("R1",), selected_via="R1",
+            requested_at=0.0, completed_at=10.0,
+        )
+        kwargs.update(overrides)
+        return SessionResult(**kwargs)
+
+    def _event(self, time, kind="stall"):
+        from repro.core.resilience import RecoveryEvent
+
+        return RecoveryEvent(time=time, kind=kind, path="R1", bytes_received=0.0)
+
+    def test_clean_result_is_silent(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.check_session_result(
+            self._result(
+                recovery_events=(self._event(2.0), self._event(3.0, "failover")),
+                bytes_received=500.0,
+            )
+        )
+        assert sanitizer.violations == []
+
+    def test_event_outside_session_interval_fires(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.check_session_result(
+            self._result(recovery_events=(self._event(99.0),))
+        )
+        assert [v.code for v in sanitizer.violations] == ["QA-R005"]
+
+    def test_unordered_timeline_fires(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.check_session_result(
+            self._result(
+                recovery_events=(self._event(5.0), self._event(3.0, "failover"))
+            )
+        )
+        assert [v.code for v in sanitizer.violations] == ["QA-R005"]
+
+    def test_bytes_received_beyond_size_fires(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.check_session_result(self._result(bytes_received=2000.0))
+        assert [v.code for v in sanitizer.violations] == ["QA-R005"]

@@ -7,6 +7,9 @@ Usage (also available as ``python -m repro``):
     repro section2 --reps 30 --out s2.jsonl            # the §2-3 campaign
     repro section4 --reps 40 --set-sizes 1,4,10,35 --out s4.jsonl
     repro failures --quick --out fail.jsonl             # availability study
+    repro section2 --reps 30 --out s2.jsonl --obs       # + obs trace
+    repro obs summarize s2.jsonl.obs.jsonl              # span/counter summary
+    repro obs chrome s2.jsonl.obs.jsonl                 # Perfetto-loadable JSON
     repro report s2.jsonl --artifact fig1 table1 headline
     repro report s4.jsonl --artifact fig6 table3 --client Duke
     repro catalog                                       # Tables IV & V
@@ -22,7 +25,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence
 
 from repro.analysis import (
     full_report,
@@ -234,6 +238,51 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FRAC",
         help="relative slowdown counted as a regression (default 0.25)",
     )
+    perf.add_argument(
+        "--obs",
+        action="store_true",
+        help="instrument each bench; adds an obs_summary block per bench "
+        "to the JSON report (numbers include instrumentation overhead)",
+    )
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect obs traces written by --obs campaign runs",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summ = obs_sub.add_parser(
+        "summarize",
+        help="print span/counter/histogram summary of a trace",
+    )
+    summ.add_argument("trace", help="obs JSONL trace path")
+    summ.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="span names listed in the cumulative-time table (default 10)",
+    )
+    chrome = obs_sub.add_parser(
+        "chrome",
+        help="convert a trace to Chrome trace_event JSON (Perfetto-loadable)",
+    )
+    chrome.add_argument("trace", help="obs JSONL trace path")
+    chrome.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output path (default: <trace>.chrome.json)",
+    )
+    metrics = obs_sub.add_parser(
+        "metrics",
+        help="dump counters/gauges/histograms as Prometheus-style text",
+    )
+    metrics.add_argument("trace", help="obs JSONL trace path")
+    metrics.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output path (default: stdout)",
+    )
     return parser
 
 
@@ -278,6 +327,19 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--progress",
         action="store_true",
         help="print progress/rate/ETA telemetry to stderr",
+    )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--obs",
+        action="store_true",
+        help="record a deterministic obs trace alongside the artefact "
+        "(also enabled by REPRO_OBS=1; study output stays byte-identical)",
+    )
+    obs.add_argument(
+        "--obs-out",
+        default=None,
+        metavar="FILE",
+        help="obs trace path (default: <out>.obs.jsonl)",
     )
 
 
@@ -332,6 +394,75 @@ class _UsageError(Exception):
     """Bad flag combination; rendered to stderr with exit code 2."""
 
 
+@contextmanager
+def _obs_capture(args) -> Iterator[None]:
+    """Capture an obs trace around a campaign when ``--obs``/REPRO_OBS is on.
+
+    Installs a fresh process-global observer, exports REPRO_OBS and a shard
+    directory (worker processes dump their own traces there at shutdown),
+    runs the campaign, then merges the parent trace with every worker shard
+    into ``--obs-out`` (default ``<out>.obs.jsonl``).  Study artefacts are
+    untouched: observation is read-only and spans are keyed by sim-time.
+    """
+    from repro.obs.core import (
+        OBS_DIR_ENV_VAR,
+        OBS_ENV_VAR,
+        global_observer,
+        observe_enabled_from_env,
+        reset_global_observer,
+    )
+
+    if not (getattr(args, "obs", False) or observe_enabled_from_env()):
+        yield
+        return
+    out = args.obs_out if args.obs_out else args.out + ".obs.jsonl"
+    shard_dir = out + ".shards"
+    os.makedirs(shard_dir, exist_ok=True)
+    saved = {k: os.environ.get(k) for k in (OBS_ENV_VAR, OBS_DIR_ENV_VAR)}
+    os.environ[OBS_ENV_VAR] = "1"
+    os.environ[OBS_DIR_ENV_VAR] = shard_dir
+    reset_global_observer()
+    observer = global_observer(create=True)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        if observer is not None:
+            _write_obs_trace(observer, out, shard_dir)
+        reset_global_observer()
+
+
+def _write_obs_trace(observer, out: str, shard_dir: str) -> None:
+    """Merge the parent observer with worker shards and write ``out``."""
+    import shutil
+
+    from repro.obs.export import ObsTrace
+
+    traces = [ObsTrace.from_observer(observer)]
+    for name in sorted(os.listdir(shard_dir)):
+        if not name.endswith(".obs.jsonl"):
+            continue
+        try:
+            traces.append(ObsTrace.load_jsonl(os.path.join(shard_dir, name)))
+        except ValueError as exc:
+            print(
+                f"warning: skipping corrupt obs shard {name}: {exc}",
+                file=sys.stderr,
+            )
+    merged = ObsTrace.merge(traces)
+    merged.save_jsonl(out)
+    shutil.rmtree(shard_dir, ignore_errors=True)
+    n_spans = sum(1 for r in merged.records if r.kind == "span")
+    print(
+        f"wrote obs trace to {out} "
+        f"({len(merged.records)} records, {n_spans} spans)"
+    )
+
+
 def _cmd_section2(args) -> int:
     sites = _dedupe("sites", _split_csv(args.sites)) or ["eBay"]
     unknown = [s for s in sites if s not in SITES]
@@ -349,7 +480,8 @@ def _cmd_section2(args) -> int:
             print(f"error: unknown clients {missing}", file=sys.stderr)
             return 2
     study = Section2Study(scenario, repetitions=args.reps)
-    store = study.run(sites=sites, clients=clients, **_runner_kwargs(args))
+    with _obs_capture(args):
+        store = study.run(sites=sites, clients=clients, **_runner_kwargs(args))
     store.save_jsonl(args.out)
     print(f"wrote {len(store)} records to {args.out}")
     return 0
@@ -366,7 +498,8 @@ def _cmd_section4(args) -> int:
         return 2
     scenario = Scenario.build(ScenarioSpec.section4(), seed=args.seed)
     study = Section4Study(scenario, repetitions=args.reps)
-    store = study.run_random_set_sweep(set_sizes, **_runner_kwargs(args))
+    with _obs_capture(args):
+        store = study.run_random_set_sweep(set_sizes, **_runner_kwargs(args))
     store.save_jsonl(args.out)
     print(f"wrote {len(store)} records to {args.out}")
     return 0
@@ -415,7 +548,8 @@ def _cmd_failures(args) -> int:
         site=args.site,
         clients=clients,
     )
-    result = execute_plan(plan, scenario=scenario, **_runner_kwargs(args))
+    with _obs_capture(args):
+        result = execute_plan(plan, scenario=scenario, **_runner_kwargs(args))
     store = result.store
     if store is None:  # pragma: no cover - max_units is not exposed here
         print("campaign incomplete; resume with --checkpoint/--resume")
@@ -569,7 +703,20 @@ def _cmd_perf(args) -> int:
     def progress(name: str) -> None:
         print(f"running {name} ...", file=sys.stderr)
 
-    results = run_benches(names, quick=args.quick, progress=progress)
+    if args.obs:
+        from repro.obs.core import OBS_ENV_VAR
+
+        saved_obs = os.environ.get(OBS_ENV_VAR)
+        os.environ[OBS_ENV_VAR] = "1"
+        try:
+            results = run_benches(names, quick=args.quick, progress=progress)
+        finally:
+            if saved_obs is None:
+                os.environ.pop(OBS_ENV_VAR, None)
+            else:
+                os.environ[OBS_ENV_VAR] = saved_obs
+    else:
+        results = run_benches(names, quick=args.quick, progress=progress)
     report = BenchReport.from_results(results, quick=args.quick)
     print(format_report(report))
     report.save(args.out)
@@ -581,6 +728,49 @@ def _cmd_perf(args) -> int:
     print()
     print(format_comparison(comparisons, tolerance=tolerance))
     return 1 if any(c.regressed for c in comparisons) else 0
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from repro.obs.export import ObsTrace, validate_chrome_trace
+
+    try:
+        trace = ObsTrace.load_jsonl(args.trace)
+    except FileNotFoundError:
+        print(f"error: trace {args.trace!r} not found", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_command == "summarize":
+        print(trace.summarize(top=args.top))
+        return 0
+    if args.obs_command == "chrome":
+        data = trace.to_chrome()
+        errors = validate_chrome_trace(data)
+        if errors:
+            for err in errors:
+                print(f"error: {err}", file=sys.stderr)
+            return 1
+        out = args.out if args.out else args.trace + ".chrome.json"
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(data['traceEvents'])} trace events to {out}")
+        return 0
+    if args.obs_command == "metrics":
+        text = trace.to_prometheus()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text, end="")
+        return 0
+    raise ValueError(
+        f"unknown obs command {args.obs_command!r}"
+    )  # pragma: no cover
 
 
 def _cmd_selfcheck(_args) -> int:
@@ -604,6 +794,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
         "selfcheck": _cmd_selfcheck,
         "perf": _cmd_perf,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

@@ -23,7 +23,10 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.core import Observer
 
 from repro.http.messages import ByteRange, HttpRequest
 from repro.http.transfer import HttpTransfer, TcpParams, issue_download
@@ -185,6 +188,41 @@ class ProbeOutcome:
         return indirect + direct
 
 
+def _emit_probe_obs(obs: "Observer", outcome: ProbeOutcome) -> None:
+    """Record one probe round: per-path spans plus the selection decision.
+
+    Losing probes' spans end at the decision instant (when they were torn
+    down) and carry the client's partial-throughput estimate, so a trace
+    shows *why* the winner won, not just that it did.
+    """
+    for probe in outcome.probes:
+        end = probe.completed_at if probe.completed_at is not None else outcome.decided_at
+        obs.span(
+            "probe",
+            f"probe:{probe.label}",
+            outcome.started_at,
+            end,
+            won=probe.path.label == outcome.winner.label,
+            indirect=probe.path.is_indirect,
+            est_throughput=outcome.estimated_throughput(probe),
+        )
+    obs.event(
+        "probe",
+        "selection",
+        outcome.decided_at,
+        winner=outcome.winner.label,
+        indirect=outcome.winner_is_indirect,
+        losers={
+            p.label: outcome.estimated_throughput(p)
+            for p in outcome.probes
+            if p.path.label != outcome.winner.label
+        },
+    )
+    obs.count("probe.rounds")
+    if outcome.winner_is_indirect:
+        obs.count("probe.indirect_selected")
+
+
 class ProbeEngine:
     """Runs probe rounds on a fluid network.
 
@@ -259,13 +297,31 @@ class ProbeEngine:
         labels = [p.label for p in paths]
         if len(set(labels)) != len(labels):
             raise ValueError(f"candidate paths must be distinct, got {labels}")
-        if mode is ProbeMode.CONCURRENT:
-            return self._run_concurrent(
-                list(paths), resource, probe_bytes, offset, deadline
-            )
-        return self._run_sequential(
-            list(paths), resource, probe_bytes, offset, deadline
-        )
+        obs = self._network.sim.observer
+        try:
+            if mode is ProbeMode.CONCURRENT:
+                outcome = self._run_concurrent(
+                    list(paths), resource, probe_bytes, offset, deadline
+                )
+            else:
+                outcome = self._run_sequential(
+                    list(paths), resource, probe_bytes, offset, deadline
+                )
+        except ProbeTimeout as exc:
+            if obs is not None:
+                obs.count("probe.timeouts")
+                obs.event(
+                    "probe",
+                    "probe_timeout",
+                    exc.timed_out_at,
+                    started_at=exc.started_at,
+                    deadline=exc.deadline,
+                    paths=[p.label for p in exc.probes],
+                )
+            raise
+        if obs is not None:
+            _emit_probe_obs(obs, outcome)
+        return outcome
 
     # ------------------------------------------------------------------ #
     def _request_for(

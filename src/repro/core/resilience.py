@@ -297,6 +297,23 @@ class StallWatchdog:
         and the deadline apply.  ``deadline_at`` is an absolute simulation
         time bounding the whole watch.
         """
+        obs = getattr(self._sim, "observer", None)
+        if obs is not None:
+            obs.count("watchdog.watches")
+        verdict = self._watch(transfer, expected, deadline_at, obs)
+        if obs is not None:
+            obs.count("watchdog.verdict." + verdict.reason)
+            if verdict.stalled:
+                obs.observe_value("watchdog.idle_seconds", verdict.idle_seconds)
+        return verdict
+
+    def _watch(
+        self,
+        transfer: Any,
+        expected: float,
+        deadline_at: float,
+        obs: Any,
+    ) -> WatchVerdict:
         sim = self._sim
         start = sim.now
         if start >= deadline_at:
@@ -314,6 +331,8 @@ class StallWatchdog:
         last_d = float(transfer.flow.delivered_at(last_t))
         healthy_at = last_t
         while True:
+            if obs is not None:
+                obs.count("watchdog.checks")
             if sim.now >= deadline_at:
                 return WatchVerdict(True, "deadline", sim.now - healthy_at)
             status = self._advance(

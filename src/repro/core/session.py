@@ -340,6 +340,16 @@ class TransferSession:
             name=f"remainder:{winner.label}",
         )
         self._network.run_to_completion(transfer.flow)
+        obs = self._network.sim.observer
+        if obs is not None:
+            obs.span(
+                "transfer",
+                f"remainder:{winner.label}",
+                remainder_started_at,
+                self.now,
+                bytes=size - x,
+                path=winner.label,
+            )
 
         return self._checked(SessionResult(
             client=client,
@@ -422,9 +432,23 @@ class TransferSession:
         reprobes = 0
         aborted = False
 
+        obs = sim.observer
         while offset < size:
+            attempt_started_at = self.now
             transfer = self._fetch_range(current, resource, offset, size)
             verdict = watchdog.watch(transfer, expected, deadline_at=deadline_at)
+            if obs is not None:
+                obs.span(
+                    "transfer",
+                    f"attempt:{current.label}",
+                    attempt_started_at,
+                    self.now,
+                    path=current.label,
+                    offset=offset,
+                    stalled=verdict.stalled,
+                    reason=verdict.reason,
+                    delivered=float(transfer.flow.delivered),
+                )
             if not verdict.stalled:
                 offset = int(size)
                 break
@@ -536,10 +560,39 @@ class TransferSession:
 
     # ------------------------------------------------------------------ #
     def _checked(self, result: SessionResult) -> SessionResult:
-        """Run the sanitizer's session post-conditions when installed."""
+        """Run the sanitizer's session post-conditions when installed.
+
+        Every session exits through here, so it is also the single place
+        the session span, the recovery-event timeline and the outcome
+        counters are emitted.
+        """
         sanitizer = self._network.sim.sanitizer
         if sanitizer is not None:
             sanitizer.check_session_result(result)
+        obs = self._network.sim.observer
+        if obs is not None:
+            obs.span(
+                "session",
+                f"{result.client}->{result.server}",
+                result.requested_at,
+                result.completed_at,
+                outcome=result.outcome.value,
+                via=result.selected_via,
+                bytes=result.delivered,
+            )
+            obs.count("session.outcome." + result.outcome.value)
+            if result.used_indirect:
+                obs.count("session.indirect")
+            for ev in result.recovery_events:
+                obs.event(
+                    "recovery",
+                    ev.kind,
+                    ev.time,
+                    path=ev.path,
+                    bytes=ev.bytes_received,
+                    detail=ev.detail,
+                )
+                obs.count("recovery." + ev.kind)
         return result
 
     def _full_download(
@@ -569,6 +622,17 @@ class TransferSession:
             transfer.abort(self._network)
             aborted = True
         received = float(transfer.flow.delivered)
+        obs = self._network.sim.observer
+        if obs is not None:
+            obs.span(
+                "transfer",
+                f"full:{path.label}",
+                requested_at,
+                self.now,
+                path=path.label,
+                bytes=received,
+                aborted=aborted,
+            )
         return self._checked(SessionResult(
             client=client,
             server=server,

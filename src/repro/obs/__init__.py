@@ -1,0 +1,41 @@
+"""repro.obs: unified tracing, metrics and profiling layer.
+
+The observability substrate shared by the simulation kernel, the TCP
+engine, the transfer/resilience core, the campaign runner and the perf
+harness.  See :mod:`repro.obs.core` for the instrumentation primitives and
+:mod:`repro.obs.export` for the exporters (JSONL, Chrome ``trace_event``,
+Prometheus text).
+"""
+
+from repro.obs.core import (
+    DEFAULT_TRACK,
+    OBS_DIR_ENV_VAR,
+    OBS_ENV_VAR,
+    SCHEMA,
+    Histogram,
+    Observer,
+    ObsRecord,
+    global_observer,
+    install_observer,
+    observe_enabled_from_env,
+    reset_global_observer,
+    shard_directory_from_env,
+)
+from repro.obs.export import ObsTrace, validate_chrome_trace
+
+__all__ = [
+    "DEFAULT_TRACK",
+    "OBS_DIR_ENV_VAR",
+    "OBS_ENV_VAR",
+    "SCHEMA",
+    "Histogram",
+    "Observer",
+    "ObsRecord",
+    "ObsTrace",
+    "global_observer",
+    "install_observer",
+    "observe_enabled_from_env",
+    "reset_global_observer",
+    "shard_directory_from_env",
+    "validate_chrome_trace",
+]

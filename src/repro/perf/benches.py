@@ -384,9 +384,26 @@ def run_benches(
     unknown = [n for n in selected if n not in BENCHES]
     if unknown:
         raise ValueError(f"unknown bench(es) {unknown}; available: {list(BENCHES)}")
+    from repro.obs.core import (
+        global_observer,
+        observe_enabled_from_env,
+        reset_global_observer,
+    )
+
+    observing = observe_enabled_from_env()
     results: Dict[str, Dict[str, Any]] = {}
     for name in selected:
         if progress is not None:
             progress(name)
-        results[name] = BENCHES[name].run(quick)
+        obs = None
+        if observing:
+            # Fresh registry per bench so span counts attribute cleanly.
+            reset_global_observer()
+            obs = global_observer(create=True)
+        result = BENCHES[name].run(quick)
+        if obs is not None and obs.has_data:
+            result["obs_summary"] = obs.span_summary()
+        results[name] = result
+    if observing:
+        reset_global_observer()
     return results

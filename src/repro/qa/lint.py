@@ -131,6 +131,9 @@ _WALL_CLOCK_CALLS: Set[str] = {
     "datetime.date.today",
 }
 
+#: Observer methods whose arguments form a span/event payload (QA-D006).
+_OBS_PAYLOAD_METHODS: Set[str] = {"span", "event"}
+
 #: Numeric literals that smell like unit conversion factors (QA-U101).
 _MAGIC_UNIT_LITERALS: Set[float] = {
     1_000.0,  # k / ms-per-s
@@ -337,7 +340,24 @@ class _RuleVisitor(ast.NodeVisitor):
                 node,
                 f"wall-clock call `{dotted}()` inside the simulation core",
             )
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _OBS_PAYLOAD_METHODS:
+            self._check_span_payload(node)
         self.generic_visit(node)
+
+    def _check_span_payload(self, node: ast.Call) -> None:
+        """QA-D006: no wall-clock calls anywhere in a span/event payload."""
+        for expr in list(node.args) + [kw.value for kw in node.keywords]:
+            for sub in ast.walk(expr):
+                if not isinstance(sub, ast.Call):
+                    continue
+                dotted = _dotted_name(sub.func)
+                if dotted is not None and dotted in _WALL_CLOCK_CALLS:
+                    self._add(
+                        "QA-D006",
+                        sub,
+                        f"wall-clock call `{dotted}()` inside a span/event payload",
+                    )
 
     # -- module-level generators (QA-D005) ------------------------------- #
     def _check_module_level_rng(self, node: ast.Assign) -> None:

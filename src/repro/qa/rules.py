@@ -126,6 +126,22 @@ _RULE_LIST: Tuple[Rule, ...] = (
         example_bad="_RNG = np.random.default_rng(42)  # at module scope",
         example_good="def sample(rng: np.random.Generator): ...",
     ),
+    Rule(
+        code="QA-D006",
+        name="no-wall-clock-in-span-payload",
+        summary=(
+            "a wall-clock call inside an obs span/event payload leaks host "
+            "timing into the trace: traces then differ run to run and cannot "
+            "be diffed or replayed"
+        ),
+        hint=(
+            "key spans by sim-time (Simulator.now) or a pre-sampled injected "
+            "clock value; sample wall clocks outside the payload expression"
+        ),
+        scope="everywhere",
+        example_bad='obs.span("unit", uid, t0, time.monotonic())',
+        example_good='ended = clock()\nobs.span("unit", uid, t0, ended - origin)',
+    ),
     # ------------------------------------------------------------- U-rules #
     Rule(
         code="QA-U101",

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Deque, Dict, List, Optional, Set, TextIO, Tuple
 
 from repro.core.session import SessionConfig
+from repro.obs.core import Observer, global_observer, shard_directory_from_env
 from repro.runner.checkpoint import CheckpointStore, merge_completed
 from repro.runner.plan import CampaignPlan, WorkUnit
 from repro.runner.progress import ProgressReporter, RunSummary
@@ -166,6 +167,14 @@ def _worker_main(
     logic; the parent terminates workers explicitly.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # When the parent enabled observability (REPRO_OBS travels through the
+    # spawn environment), label this worker's records with its own track so
+    # merged traces keep one timeline per worker.
+    obs = global_observer()
+    if obs is not None:
+        # Same name the parent uses for this worker's unit spans, so the
+        # worker's engine spans land on the same Chrome-trace track.
+        obs.track = f"worker-{worker_id}"
     try:
         scenario = Scenario.build(spec, seed=seed)
     except BaseException:
@@ -174,6 +183,7 @@ def _worker_main(
     while True:
         unit = task_q.get()
         if unit is None:
+            _dump_obs_shard(worker_id)
             return
         try:
             record = run_unit(scenario, config, unit, extra)
@@ -181,6 +191,31 @@ def _worker_main(
             result_q.put(("err", worker_id, unit.index, traceback.format_exc()))
         else:
             result_q.put(("ok", worker_id, unit.index, record))
+
+
+def _dump_obs_shard(worker_id: int) -> None:
+    """Write this worker's trace shard for the parent to merge.
+
+    Only runs on the orderly (sentinel) shutdown path: a worker killed by a
+    timeout or crash loses its shard, which is a documented limitation -
+    study artefacts never depend on traces, and the shard loader tolerates
+    a torn final line.
+    """
+    shard_dir = shard_directory_from_env()
+    if shard_dir is None:
+        return
+    obs = global_observer(create=False)
+    if obs is None or not obs.has_data:
+        return
+    from repro.obs.export import ObsTrace
+
+    import os
+
+    path = os.path.join(shard_dir, f"worker-{worker_id:03d}.obs.jsonl")
+    try:
+        ObsTrace.from_observer(obs).save_jsonl(path)
+    except OSError:
+        pass  # telemetry is best-effort; never fail the campaign over it
 
 
 @dataclass
@@ -214,6 +249,7 @@ class _Execution:
         max_retries: int,
         clock: Callable[[], float],
         done: Dict[int, Tuple[str, TransferRecord]],
+        observer: Optional[Observer] = None,
     ):
         self.plan = plan
         self.reporter = reporter
@@ -226,6 +262,26 @@ class _Execution:
         self.failed_attempts: Dict[int, int] = {}
         self.retried_units: Set[int] = set()
         self._since_flush = 0
+        #: Trace sink for per-unit spans (None = observability off).  Span
+        #: times are executor-clock seconds relative to this origin, so a
+        #: campaign trace always starts at t=0.
+        self.obs = observer
+        self.origin = clock()
+
+    def unit_span(
+        self, unit: WorkUnit, started_at: float, ended_at: float, track: str, ok: bool
+    ) -> None:
+        """Record one execution attempt as a span on the worker's track."""
+        if self.obs is not None:
+            self.obs.span(
+                "unit",
+                unit.unit_id,
+                started_at - self.origin,
+                ended_at - self.origin,
+                track=track,
+                index=unit.index,
+                ok=ok,
+            )
 
     def complete(self, unit: WorkUnit, record: TransferRecord, worker: str) -> None:
         """Record a finished unit; idempotent for duplicate completions."""
@@ -247,6 +303,8 @@ class _Execution:
         self.failed_attempts[unit.index] = count
         retrying = count <= self.max_retries
         self.reporter.attempt_failed(worker, unit_index=unit.index, retrying=retrying)
+        if self.obs is not None and retrying:
+            self.obs.count("runner.retries")
         if not retrying:
             raise UnitExecutionError(
                 UnitFailure(
@@ -277,13 +335,16 @@ def _run_inline(
         scenario = Scenario.build(state.plan.scenario_spec, seed=state.plan.seed)
     for unit in pending:
         while True:
+            attempt_started = state.clock()
             try:
                 record = run_unit_fn(scenario, state.plan.config, unit)
             except KeyboardInterrupt:
                 raise
             except Exception:
+                state.unit_span(unit, attempt_started, state.clock(), "inline", False)
                 state.register_failure(unit, traceback.format_exc(), "inline")
                 continue
+            state.unit_span(unit, attempt_started, state.clock(), "inline", True)
             state.complete(unit, record, "inline")
             break
 
@@ -347,6 +408,8 @@ def _run_parallel(
     target = len(pending)
     next_worker_id = 0
     workers: Dict[int, _WorkerHandle] = {}
+    #: Dispatch time per unit index, for the queue-wait histogram.
+    enqueued_at: Dict[int, float] = {}
 
     def spawn_one() -> None:
         nonlocal next_worker_id
@@ -386,6 +449,7 @@ def _run_parallel(
                     except queue_mod.Full:
                         todo.appendleft(unit)
                         break
+                    enqueued_at[unit.index] = state.clock()
                     if not handle.inflight:
                         handle.head_since = state.clock()
                     handle.inflight.append(unit)
@@ -419,7 +483,18 @@ def _run_parallel(
                             f"{handle.name} returned unit {index} but "
                             f"{unit.index} was at the head of its queue"
                         )
+                    started_at = handle.head_since  # when the unit became head
                     handle.head_since = state.clock()
+                    if state.obs is not None:
+                        dispatched = enqueued_at.pop(unit.index, started_at)
+                        state.obs.observe_value(
+                            "runner.queue_wait_seconds",
+                            max(0.0, started_at - dispatched),
+                        )
+                        state.unit_span(
+                            unit, started_at, handle.head_since,
+                            handle.name, kind == "ok",
+                        )
                     if kind == "ok":
                         state.complete(unit, payload, handle.name)
                     else:
@@ -550,6 +625,9 @@ def execute_plan(
     if max_units is not None:
         pending = pending[: max(0, max_units)]
 
+    # The process-global observer (None unless REPRO_OBS / --obs enabled it):
+    # the reporter accounts into it and the executor adds per-unit spans.
+    obs = global_observer()
     reporter = ProgressReporter(
         total=len(plan),
         skipped=skipped,
@@ -557,6 +635,7 @@ def execute_plan(
         stream=progress_stream,
         enabled=progress,
         label=plan.study,
+        observer=obs,
     )
     state = _Execution(
         plan,
@@ -566,6 +645,7 @@ def execute_plan(
         max_retries=max_retries,
         clock=clock,
         done=done,
+        observer=obs,
     )
 
     started = clock()

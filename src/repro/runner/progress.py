@@ -5,6 +5,15 @@ completions and renders ``done/total | rate | eta`` lines, but nothing it
 measures can flow back into the measurements (workers never see it, and the
 merge order is fixed by the plan).  The clock is injected so tests can drive
 it deterministically; the real executor passes ``time.monotonic``.
+
+All accounting lives in a :class:`repro.obs.core.Observer` registry
+(``runner.units_done``, ``runner.failed_attempts``,
+``runner.worker_failures.<worker>``) rather than private counters: when the
+executor hands the reporter the process-global observer, campaign telemetry
+lands in the same trace as the engine's.  A reporter created without one
+uses a private registry, so behaviour is identical with observability off.
+Because a shared observer outlives a single campaign, the reporter
+snapshots each counter at construction and reports deltas.
 """
 
 from __future__ import annotations
@@ -13,7 +22,13 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, TextIO
 
+from repro.obs.core import Observer
+
 __all__ = ["ProgressReporter", "RunSummary"]
+
+_DONE_COUNTER = "runner.units_done"
+_FAILED_COUNTER = "runner.failed_attempts"
+_WORKER_FAILURE_PREFIX = "runner.worker_failures."
 
 #: Seconds between stderr updates on a tty; non-tty streams (CI logs) are
 #: additionally throttled to 10-percent steps so logs stay readable.
@@ -81,6 +96,10 @@ class ProgressReporter:
     enabled:
         When False every call is a no-op (the executor still builds the
         :class:`RunSummary`).
+    observer:
+        The metrics registry to account into; the executor passes the
+        process-global observer when observability is on.  ``None`` (the
+        default) uses a private registry - same arithmetic, no shared trace.
     """
 
     def __init__(
@@ -92,12 +111,20 @@ class ProgressReporter:
         stream: Optional[TextIO] = None,
         enabled: bool = True,
         label: str = "campaign",
+        observer: Optional[Observer] = None,
     ):
         self.total = total
         self.skipped = skipped
-        self.done = skipped
-        self.failed_attempts = 0
-        self.worker_failures: Dict[str, int] = {}
+        self._obs = observer if observer is not None else Observer()
+        # A shared observer may carry counts from an earlier campaign in
+        # this process; all public readings are deltas from these baselines.
+        self._base_done = self._obs.counter(_DONE_COUNTER)
+        self._base_failed = self._obs.counter(_FAILED_COUNTER)
+        self._base_worker = {
+            name: value
+            for name, value in self._obs.counters.items()
+            if name.startswith(_WORKER_FAILURE_PREFIX)
+        }
         self._clock = clock
         self._stream = stream if stream is not None else sys.stderr
         self._enabled = enabled
@@ -106,6 +133,34 @@ class ProgressReporter:
         self._last_emit = float("-inf")
         self._last_percent = -1
         self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+
+    # ------------------------------------------------------------------ #
+    @property
+    def observer(self) -> Observer:
+        """The metrics registry this reporter accounts into."""
+        return self._obs
+
+    @property
+    def done(self) -> int:
+        """Completed units, the resumed (skipped) prefix included."""
+        return self.skipped + int(self._obs.counter(_DONE_COUNTER) - self._base_done)
+
+    @property
+    def failed_attempts(self) -> int:
+        """Failed execution attempts seen by this reporter."""
+        return int(self._obs.counter(_FAILED_COUNTER) - self._base_failed)
+
+    @property
+    def worker_failures(self) -> Dict[str, int]:
+        """Failed attempts per worker name."""
+        out: Dict[str, int] = {}
+        for name, value in self._obs.counters.items():
+            if not name.startswith(_WORKER_FAILURE_PREFIX):
+                continue
+            delta = int(value - self._base_worker.get(name, 0.0))
+            if delta > 0:
+                out[name[len(_WORKER_FAILURE_PREFIX):]] = delta
+        return out
 
     # ------------------------------------------------------------------ #
     def start(self) -> None:
@@ -118,13 +173,13 @@ class ProgressReporter:
 
     def unit_finished(self, worker: str) -> None:
         """One unit completed successfully on ``worker``."""
-        self.done += 1
+        self._obs.count(_DONE_COUNTER)
         self._emit(force=self.done >= self.total)
 
     def attempt_failed(self, worker: str, *, unit_index: int, retrying: bool) -> None:
         """One execution attempt failed (the unit may be retried)."""
-        self.failed_attempts += 1
-        self.worker_failures[worker] = self.worker_failures.get(worker, 0) + 1
+        self._obs.count(_FAILED_COUNTER)
+        self._obs.count(_WORKER_FAILURE_PREFIX + worker)
         verb = "retrying" if retrying else "giving up"
         self._write(
             f"[{self._label}] unit {unit_index} failed on {worker} "

@@ -9,7 +9,6 @@ idiom); stale entries are skipped lazily on pop.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from typing import Any, Callable, List, Optional, Tuple
 
@@ -26,7 +25,7 @@ class Event:
     memory are on the kernel's hot path.
     """
 
-    __slots__ = ("time", "seq", "callback", "name", "cancelled")
+    __slots__ = ("time", "seq", "callback", "name", "cancelled", "popped")
 
     def __init__(
         self,
@@ -41,6 +40,7 @@ class Event:
         self.callback = callback
         self.name = name
         self.cancelled = cancelled
+        self.popped = False
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when reached."""
@@ -60,12 +60,14 @@ class Event:
 class EventQueue:
     """Binary-heap priority queue of :class:`Event` with stable ordering."""
 
-    __slots__ = ("_heap", "_counter", "_len_active")
+    __slots__ = ("_heap", "_counter", "_len_active", "_cancelled_total", "_high_water")
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._counter = 0
         self._len_active = 0
+        self._cancelled_total = 0
+        self._high_water = 0
 
     def push(self, time: float, callback: Callable[[], Any], *, name: str = "") -> Event:
         """Schedule ``callback`` at ``time`` and return its (cancellable) event."""
@@ -74,17 +76,27 @@ class EventQueue:
         time = float(time)
         if math.isnan(time):
             raise SchedulingError("event time must not be NaN")
-        seq = next(self._counter)
+        seq = self._counter
+        self._counter = seq + 1
         event = Event(time, seq, callback, name)
         heapq.heappush(self._heap, (time, seq, event))
         self._len_active += 1
+        if self._len_active > self._high_water:
+            self._high_water = self._len_active
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a previously pushed event (idempotent)."""
+        """Cancel a previously pushed event (idempotent).
+
+        Cancelling an event that already popped marks it cancelled but does
+        not touch the active count: it left the queue when it was popped
+        (decrementing again would drive ``len()`` negative).
+        """
         if not event.cancelled:
             event.cancel()
-            self._len_active -= 1
+            if not event.popped:
+                self._len_active -= 1
+                self._cancelled_total += 1
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest active event, or ``None`` if empty."""
@@ -92,6 +104,7 @@ class EventQueue:
             _, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.popped = True
             self._len_active -= 1
             return event
         return None
@@ -101,6 +114,21 @@ class EventQueue:
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0][0] if self._heap else None
+
+    @property
+    def pushed(self) -> int:
+        """Total events ever scheduled (the next event's sequence number)."""
+        return self._counter
+
+    @property
+    def cancelled_total(self) -> int:
+        """Total events cancelled over the queue's lifetime."""
+        return self._cancelled_total
+
+    @property
+    def high_water(self) -> int:
+        """Largest number of simultaneously pending events seen so far."""
+        return self._high_water
 
     def __len__(self) -> int:
         """Number of active (non-cancelled) events."""
@@ -113,3 +141,4 @@ class EventQueue:
         """Drop all events (including pending cancellations)."""
         self._heap.clear()
         self._len_active = 0
+        self._high_water = 0

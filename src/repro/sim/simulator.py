@@ -14,6 +14,7 @@ from repro.sim.errors import SchedulingError, SimulationDeadlock
 from repro.sim.event_queue import Event, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.core import Observer
     from repro.qa.sanitize import Sanitizer
 
 __all__ = ["Simulator"]
@@ -27,6 +28,12 @@ class Simulator:
     engine bound to it; checks are read-only, so sanitized runs produce
     byte-identical results.
 
+    Set ``observe=True`` (or export ``REPRO_OBS=1``) to bind the
+    process-global :class:`repro.obs.core.Observer` to this kernel and
+    every engine bound to it.  Observation is likewise read-only and keyed
+    to sim time, so observed runs also produce byte-identical results; the
+    sanitizer and observer are independent hooks and compose freely.
+
     Examples
     --------
     >>> sim = Simulator()
@@ -39,7 +46,14 @@ class Simulator:
     [0.5, 1.0]
     """
 
-    __slots__ = ("_queue", "_now", "_processed", "max_events", "_sanitizer")
+    __slots__ = (
+        "_queue",
+        "_now",
+        "_processed",
+        "max_events",
+        "_sanitizer",
+        "_observer",
+    )
 
     def __init__(
         self,
@@ -48,6 +62,8 @@ class Simulator:
         max_events: int = 50_000_000,
         sanitize: Optional[bool] = None,
         sanitizer: Optional["Sanitizer"] = None,
+        observe: Optional[bool] = None,
+        observer: Optional["Observer"] = None,
     ):
         self._queue = EventQueue()
         self._now = float(start_time)
@@ -67,6 +83,19 @@ class Simulator:
 
                 sanitizer = Sanitizer()
         self._sanitizer = sanitizer
+        if observer is None:
+            # Same lazy-import pattern as the sanitizer above.  Simulators
+            # share the process-global observer so one campaign yields one
+            # trace; pass ``observer=`` explicitly to isolate a kernel.
+            if observe is None:
+                from repro.obs.core import observe_enabled_from_env
+
+                observe = observe_enabled_from_env()
+            if observe:
+                from repro.obs.core import global_observer
+
+                observer = global_observer(create=True)
+        self._observer = observer
 
     @property
     def now(self) -> float:
@@ -77,6 +106,11 @@ class Simulator:
     def sanitizer(self) -> Optional["Sanitizer"]:
         """The installed runtime invariant checker, or ``None``."""
         return self._sanitizer
+
+    @property
+    def observer(self) -> Optional["Observer"]:
+        """The bound :mod:`repro.obs` observer, or ``None`` when disabled."""
+        return self._observer
 
     @property
     def events_processed(self) -> int:
@@ -112,6 +146,17 @@ class Simulator:
             return False
         if self._sanitizer is not None:
             self._sanitizer.check_event_time(self._now, event.time, event.name)
+        obs = self._observer
+        if obs is not None:
+            obs.count("sim.events")
+            if event.name:
+                # Group e.g. "probe:direct" under "sim.event.probe".
+                obs.count("sim.event." + event.name.partition(":")[0])
+            queue = self._queue
+            obs.gauge("sim.queue_depth", float(len(queue)))
+            obs.gauge_max("sim.queue_high_water", float(queue.high_water))
+            obs.gauge("sim.events_scheduled", float(queue.pushed))
+            obs.gauge("sim.events_cancelled", float(queue.cancelled_total))
         # Clock only moves forward; equal-time events run in insertion order.
         self._now = event.time
         self._processed += 1

@@ -152,6 +152,12 @@ class FluidNetwork:
         self._tick_cb = self._tick
         #: Count of completed flows (monitoring/testing aid).
         self.completed_count = 0
+        #: Cached observer handle (None = disabled; one attribute test on
+        #: the hot paths).  Observation never alters allocation decisions —
+        #: in particular the disjoint scalar fast path stays gated on the
+        #: sanitizer alone.
+        self._obs = sim.observer
+        self._last_tick_at: Optional[float] = None
 
     @property
     def sim(self) -> Simulator:
@@ -211,7 +217,7 @@ class FluidNetwork:
         if flow.state is FlowState.ACTIVE:
             flow._advance(self._sim.now)
             self._active.pop(flow.id, None)
-            self._alloc_state = None
+            self._invalidate_alloc("abort")
         flow._abort(self._sim.now)
         if self._sim.sanitizer is not None:
             self._sim.sanitizer.forget_flow(flow.id)
@@ -225,8 +231,15 @@ class FluidNetwork:
             return  # aborted while pending
         flow._activate(self._sim.now)
         self._active[flow.id] = flow
-        self._alloc_state = None
+        self._invalidate_alloc("activate")
         self._request_tick()
+
+    def _invalidate_alloc(self, reason: str) -> None:
+        """Drop the cached allocation structure, counting the cause."""
+        if self._alloc_state is not None:
+            self._alloc_state = None
+            if self._obs is not None:
+                self._obs.count("alloc.cache_invalidate." + reason)
 
     def _request_tick(self) -> None:
         """Coalesce mutations into a single recompute at the current instant."""
@@ -285,6 +298,15 @@ class FluidNetwork:
         now = self._sim.now
         self._tick_event = None
         sanitizer = self._sim.sanitizer
+        obs = self._obs
+        if obs is not None:
+            # One span per constant-rate epoch: from the previous tick to
+            # this one, annotated with the flow count that held during it.
+            prev = self._last_tick_at
+            if prev is not None and now > prev:
+                obs.span("tick", "fluid-epoch", prev, now, flows=len(self._active))
+            self._last_tick_at = now
+            obs.count("engine.ticks")
 
         # 1. Accrue bytes at the rates chosen at the previous tick.
         for flow in self._active.values():
@@ -303,7 +325,7 @@ class FluidNetwork:
             if sanitizer is not None:
                 sanitizer.forget_flow(flow.id)
         if finished:
-            self._alloc_state = None
+            self._invalidate_alloc("complete")
         for flow in finished:
             if flow.on_complete is not None:
                 flow.on_complete(flow)
@@ -324,9 +346,17 @@ class FluidNetwork:
                 state = self._alloc_state = self._build_alloc_state(
                     list(self._active.values())
                 )
+                if obs is not None:
+                    obs.count("alloc.cache_rebuild")
             flows = state.flows
             cursors = state.cursors
             capv = [cursor.value_at(now) for cursor in cursors]
+            if obs is not None:
+                obs.span(
+                    "alloc", "solve", now, now,
+                    flows=len(flows), links=len(state.links),
+                    disjoint=state.disjoint,
+                )
             if state.disjoint and sanitizer is None:
                 # No link is shared, so no sharing to arbitrate: each flow
                 # gets min(bottleneck, cap) in plain floats, skipping numpy
@@ -340,6 +370,8 @@ class FluidNetwork:
                             bottleneck = v
                     cap = flow.cap_at(now)
                     flow.rate = bottleneck if bottleneck < cap else cap
+                if obs is not None:
+                    obs.count("alloc.solve_disjoint_scalar")
             else:
                 capacities = state.capacities
                 for i, value in enumerate(capv):
@@ -349,7 +381,7 @@ class FluidNetwork:
                     caps[j] = flow.cap_at(now)
                 rates = maxmin_allocate(
                     capacities, state.incidence, caps,
-                    validate=False, fast=state.disjoint,
+                    validate=False, fast=state.disjoint, observer=obs,
                 )
                 if sanitizer is not None:
                     sanitizer.check_allocation(
@@ -389,7 +421,9 @@ class FluidNetwork:
                 for link in flow.route.links:
                     incidence[link_index[link.name], j] = True
             caps = np.fromiter((f.cap_at(now) for f in flows), dtype=np.float64, count=n_flows)
-            rates = maxmin_allocate(capacities, incidence, caps, fast=False)
+            if obs is not None:
+                obs.span("alloc", "solve", now, now, flows=n_flows, links=n_links)
+            rates = maxmin_allocate(capacities, incidence, caps, fast=False, observer=obs)
             if sanitizer is not None:
                 sanitizer.check_allocation(
                     now, capacities, incidence, caps, rates,

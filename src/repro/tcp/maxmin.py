@@ -27,9 +27,12 @@ the property-based suite cross-checks them against the loop and
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.obs.core import Observer
 
 __all__ = ["maxmin_allocate", "verify_maxmin"]
 
@@ -44,6 +47,7 @@ def maxmin_allocate(
     *,
     validate: bool = True,
     fast: bool = True,
+    observer: Optional["Observer"] = None,
 ) -> np.ndarray:
     """Compute max-min fair rates.
 
@@ -68,6 +72,11 @@ def maxmin_allocate(
         property-based suite and the ``REPRO_ENGINE_BASELINE`` perf
         yardstick); the single-flow path predates this flag and is always
         on, as in the seed engine.
+    observer:
+        Optional :class:`repro.obs.core.Observer`; when given, counts which
+        solver path ran (``maxmin.single_flow`` / ``maxmin.disjoint_fast`` /
+        ``maxmin.progressive`` plus ``maxmin.progressive_rounds``).
+        Observation never affects the allocation.
 
     Returns
     -------
@@ -99,6 +108,8 @@ def maxmin_allocate(
             if validate and cap0 < 0.0:
                 raise ValueError("caps must be non-negative")
             rate = min(rate, cap0)
+        if observer is not None:
+            observer.count("maxmin.single_flow")
         return np.array([rate])
     if caps is None:
         caps_arr = np.full(n_flows, np.inf)
@@ -117,6 +128,8 @@ def maxmin_allocate(
         # relay paths) and costs one O(L*F) pass instead of up to F.
         if int(a.sum(axis=1).max()) <= 1:
             bottleneck = np.where(a, c[:, None], np.inf).min(axis=0)
+            if observer is not None:
+                observer.count("maxmin.disjoint_fast")
             return np.minimum(bottleneck, caps_arr)
 
     rates = np.zeros(n_flows)
@@ -127,7 +140,12 @@ def maxmin_allocate(
     zero_cap = caps_arr <= 0.0
     frozen[zero_cap] = True
 
+    if observer is not None:
+        observer.count("maxmin.progressive")
+
     while not frozen.all():
+        if observer is not None:
+            observer.count("maxmin.progressive_rounds")
         active = ~frozen
         counts = a @ active.astype(np.float64)  # unfrozen flows per link
         used = counts > 0.0

@@ -22,9 +22,11 @@ __all__ = [
     "GB",
     "BITS_PER_BYTE",
     "MS_PER_S",
+    "US_PER_S",
     "mbps_to_bytes_per_s",
     "bytes_per_s_to_mbps",
     "s_to_ms",
+    "s_to_us",
     "kb",
     "mb",
     "seconds_to_transfer",
@@ -43,6 +45,9 @@ BITS_PER_BYTE: float = 8.0
 
 #: Milliseconds in a second (display helper for latencies).
 MS_PER_S: float = 1_000.0
+
+#: Microseconds in a second (Chrome ``trace_event`` timestamps are in µs).
+US_PER_S: float = 1_000_000.0
 
 #: Seconds in a minute / hour, for readable workload definitions.
 MINUTE: float = 60.0
@@ -73,6 +78,15 @@ def s_to_ms(seconds: float) -> float:
     75.0
     """
     return float(seconds) * MS_PER_S
+
+
+def s_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds (Chrome trace timestamp unit).
+
+    >>> s_to_us(0.002)
+    2000.0
+    """
+    return float(seconds) * US_PER_S
 
 
 def kb(n: float) -> float:

@@ -1,0 +1,147 @@
+"""repro.obs.export tests: JSONL round-trip, merge, Chrome trace, Prometheus."""
+
+import json
+
+import pytest
+
+from repro.obs.core import Observer
+from repro.obs.export import ObsTrace, validate_chrome_trace
+
+
+def make_observer(track="main", offset=0.0):
+    obs = Observer(track=track)
+    obs.count("engine.ticks", 3.0)
+    obs.gauge("sim.queue_depth", 4.0)
+    obs.observe_value("runner.queue_wait_seconds", 0.25)
+    obs.span("tick", "fluid-epoch", offset + 0.0, offset + 1.0, flows=2)
+    obs.span("probe", "probe:direct", offset + 0.5, offset + 1.5)
+    obs.event("probe", "selection", offset + 1.5, winner="direct")
+    return obs
+
+
+class TestJsonlRoundTrip:
+    def test_save_load_preserves_everything(self, tmp_path):
+        trace = ObsTrace.from_observer(make_observer())
+        path = tmp_path / "t.obs.jsonl"
+        trace.save_jsonl(str(path))
+        loaded = ObsTrace.load_jsonl(str(path))
+        assert loaded.counters == trace.counters
+        assert loaded.gauges == trace.gauges
+        assert [r.to_dict() for r in loaded.records] == [
+            r.to_dict() for r in trace.records
+        ]
+        assert (
+            loaded.histograms["runner.queue_wait_seconds"].to_dict()
+            == trace.histograms["runner.queue_wait_seconds"].to_dict()
+        )
+
+    def test_save_is_byte_stable(self, tmp_path):
+        trace = ObsTrace.from_observer(make_observer())
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        trace.save_jsonl(str(a))
+        trace.save_jsonl(str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "t.obs.jsonl"
+        ObsTrace.from_observer(make_observer()).save_jsonl(str(path))
+        text = path.read_text()
+        path.write_text(text + '{"type": "span", "cat": "ti')  # killed worker
+        loaded = ObsTrace.load_jsonl(str(path))
+        assert len(loaded.records) == 3
+
+    def test_corrupt_mid_file_raises(self, tmp_path):
+        path = tmp_path / "t.obs.jsonl"
+        ObsTrace.from_observer(make_observer()).save_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        lines[1] = "{garbage"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            ObsTrace.load_jsonl(str(path))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ObsTrace.load_jsonl(str(tmp_path / "absent.jsonl"))
+
+
+class TestMerge:
+    def test_merge_shards(self):
+        a = ObsTrace.from_observer(make_observer(track="worker-0"))
+        b = ObsTrace.from_observer(make_observer(track="worker-1", offset=10.0))
+        merged = ObsTrace.merge([a, b])
+        assert merged.counters["engine.ticks"] == 6.0
+        assert merged.histograms["runner.queue_wait_seconds"].total == 2
+        assert len(merged.records) == 6
+        # Records come out globally ordered by (start, track, seq).
+        starts = [r.start for r in merged.records]
+        assert starts == sorted(starts)
+
+    def test_merge_gauges_keep_max(self):
+        a = Observer()
+        b = Observer()
+        a.gauge("sim.queue_high_water", 7.0)
+        b.gauge("sim.queue_high_water", 3.0)
+        merged = ObsTrace.merge(
+            [ObsTrace.from_observer(a), ObsTrace.from_observer(b)]
+        )
+        assert merged.gauges["sim.queue_high_water"] == 7.0
+
+
+class TestChromeTrace:
+    def test_valid_and_loads_as_json(self):
+        merged = ObsTrace.merge(
+            [
+                ObsTrace.from_observer(make_observer(track="worker-0")),
+                ObsTrace.from_observer(make_observer(track="worker-1", offset=5.0)),
+            ]
+        )
+        data = merged.to_chrome()
+        assert validate_chrome_trace(data) == []
+        again = json.loads(json.dumps(data))
+        events = again["traceEvents"]
+        # One metadata record per track, stable tid assignment.
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["worker-0", "worker-1"]
+        assert [m["tid"] for m in meta] == [1, 2]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert all("ts" in s and "dur" in s for s in spans)
+        # Sim-seconds become microseconds.
+        first = min(spans, key=lambda s: s["ts"])
+        assert first["ts"] == 0.0 and first["dur"] == 1_000_000.0
+        instants = [e for e in events if e["ph"] == "i"]
+        assert all(e["s"] == "t" for e in instants)
+
+    def test_validator_rejects_malformed(self):
+        assert validate_chrome_trace({"no": "traceEvents"})
+        assert validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "Z", "pid": 1, "tid": 1, "name": "x"}]}
+        )
+        # A complete span without ts/dur is semantically invalid.
+        assert validate_chrome_trace(
+            {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "x"}]}
+        )
+
+
+class TestPrometheus:
+    def test_text_format(self):
+        text = ObsTrace.from_observer(make_observer()).to_prometheus()
+        assert "# TYPE repro_engine_ticks counter" in text
+        assert "repro_engine_ticks 3" in text
+        assert "# TYPE repro_sim_queue_depth gauge" in text
+        assert "# TYPE repro_runner_queue_wait_seconds histogram" in text
+        assert 'repro_runner_queue_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_runner_queue_wait_seconds_count 1" in text
+
+
+class TestSummarize:
+    def test_mentions_spans_counters_histograms(self):
+        text = ObsTrace.from_observer(make_observer()).summarize()
+        assert "3 records" in text
+        assert "tick" in text and "probe" in text
+        assert "engine.ticks" in text
+        assert "runner.queue_wait_seconds" in text
+
+    def test_empty_trace(self):
+        text = ObsTrace.from_observer(Observer()).summarize()
+        assert "0 records" in text

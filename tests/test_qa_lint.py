@@ -38,6 +38,18 @@ POSITIVE_CASES = [
     ("QA-D004", SIM, "import time\ndef f():\n    return time.time()\n"),
     ("QA-D004", NET, "import datetime\nd = datetime.datetime.now()\n"),
     ("QA-D005", LIB, "import numpy as np\nRNG = np.random.default_rng(7)\n"),
+    (
+        "QA-D006",
+        TESTS,
+        "import time\ndef f(obs):\n"
+        '    obs.span("unit", "u1", 0.0, time.monotonic())\n',
+    ),
+    (
+        "QA-D006",
+        LIB,
+        "import time\ndef f(obs):\n"
+        '    obs.event("probe", "sel", 1.0, at=time.perf_counter())\n',
+    ),
     ("QA-U101", LIB, "def f(rate):\n    return rate * 8.0 / 1e6\n"),
     ("QA-U101", NET, "def f(delay):\n    return delay * 1000.0\n"),
     (
@@ -71,6 +83,14 @@ NEGATIVE_CASES = [
         "QA-D005",
         LIB,
         "import numpy as np\ndef f():\n    return np.random.default_rng(1)\n",
+    ),
+    # Pre-sampled clock values in a payload are the recommended pattern.
+    (
+        "QA-D006",
+        LIB,
+        "def f(obs, clock, origin):\n"
+        "    ended = clock()\n"
+        '    obs.span("unit", "u1", 0.0, ended - origin)\n',
     ),
     # Raw factors are allowed outside the library (tests, benchmarks)...
     ("QA-U101", TESTS, "def f(rate):\n    return rate * 1e6\n"),

@@ -262,6 +262,29 @@ class TestProgressTelemetry:
         assert "4/4 units (100%)" in out
         assert reporter.worker_failures == {"worker-0": 1}
 
+    def test_reporter_deltas_against_shared_observer(self):
+        # A process-global observer outlives one campaign: a second reporter
+        # over the same registry must report only its own campaign's units.
+        from repro.obs.core import Observer
+
+        obs = Observer()
+        stream = io.StringIO()
+        first = ProgressReporter(
+            total=2, clock=lambda: 0.0, stream=stream, observer=obs
+        )
+        first.unit_finished("inline")
+        first.attempt_failed("worker-0", unit_index=0, retrying=True)
+        assert first.done == 1 and first.failed_attempts == 1
+        second = ProgressReporter(
+            total=2, clock=lambda: 0.0, stream=stream, observer=obs
+        )
+        assert second.done == 0
+        assert second.failed_attempts == 0
+        assert second.worker_failures == {}
+        second.unit_finished("inline")
+        assert second.done == 1
+        assert obs.counter("runner.units_done") == 2.0
+
     def test_disabled_reporter_is_silent(self):
         stream = io.StringIO()
         reporter = ProgressReporter(

@@ -82,6 +82,28 @@ class TestCancellation:
         q.cancel(e)
         assert q.peek_time() == 3.0
 
+    def test_cancel_after_pop_does_not_go_negative(self):
+        # Cancelling an event that already fired must not double-decrement
+        # the active count (it previously drove len() negative).
+        q = EventQueue()
+        e = q.push(1.0, noop)
+        assert q.pop() is e
+        q.cancel(e)
+        assert len(q) == 0
+        assert q.cancelled_total == 0  # it ran; it was not cancelled in time
+        q.push(2.0, noop)
+        assert len(q) == 1
+
+    def test_telemetry_counters(self):
+        q = EventQueue()
+        a = q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert q.pushed == 2 and q.high_water == 2
+        q.cancel(a)
+        assert q.cancelled_total == 1 and len(q) == 1
+        q.pop()
+        assert q.high_water == 2  # high water is a lifetime peak
+
     def test_clear(self):
         q = EventQueue()
         q.push(1.0, noop)

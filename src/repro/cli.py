@@ -15,6 +15,8 @@ Usage (also available as ``python -m repro``):
     repro catalog                                       # Tables IV & V
     repro lint src tests benchmarks                     # QA-* static linter
     repro lint --rules                                  # rule catalogue
+    repro check src --baseline qa-baseline.json         # QA-F flow analyzer
+    repro check src --sarif findings.sarif              # SARIF 2.1 output
     repro selfcheck                                     # sanitizer battery
     repro perf --out BENCH_engine.json                  # engine benchmarks
     repro perf --quick --baseline BENCH_engine.json     # regression check
@@ -197,6 +199,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--rules",
         action="store_true",
         help="print the rule and invariant catalogues and exit",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="run the whole-program QA-F flow analyzer (determinism / spawn safety)",
+    )
+    check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    check.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accepted-findings baseline; only findings beyond it fail the run",
+    )
+    check.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write a baseline accepting every current finding, then exit",
+    )
+    check.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="also write findings as SARIF 2.1 to FILE ('-' for stdout)",
+    )
+    check.add_argument(
+        "--no-hints", action="store_true", help="omit fix hints from findings"
     )
 
     sub.add_parser(
@@ -637,6 +668,16 @@ def _cmd_catalog(_args) -> int:
 def _render_rule_catalog() -> str:
     lines = ["Static lint rules (suppress with `# qa: ignore[CODE]`):"]
     for code, rule in RULES.items():
+        if rule.analyzer != "lint":
+            continue
+        lines.append(f"  {code}  {rule.name} [{rule.scope}]")
+        lines.append(f"      {rule.summary}")
+        lines.append(f"      fix: {rule.hint}")
+    lines.append("")
+    lines.append("Whole-program flow rules (`repro check`, same suppression syntax):")
+    for code, rule in RULES.items():
+        if rule.analyzer != "flow":
+            continue
         lines.append(f"  {code}  {rule.name} [{rule.scope}]")
         lines.append(f"      {rule.summary}")
         lines.append(f"      fix: {rule.hint}")
@@ -664,6 +705,82 @@ def _cmd_lint(args) -> int:
         print(f"{len(findings)} finding(s) in {n_files} file(s)")
         return 1
     print(f"clean: 0 findings in {n_files} file(s)")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    # Imported lazily: the flow analyzer is only needed by this command.
+    import json as _json
+
+    from repro.qa.files import iter_python_files as _iter_files
+    from repro.qa.flow import (
+        Baseline,
+        analyze_paths,
+        to_sarif,
+        write_baseline,
+    )
+
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such file or directory: {missing}", file=sys.stderr)
+        return 2
+    findings = analyze_paths(args.paths)
+    n_files = sum(1 for _ in _iter_files(args.paths))
+
+    if args.write_baseline:
+        write_baseline(
+            findings,
+            args.write_baseline,
+            justification="TODO: justify this accepted finding or fix it",
+        )
+        print(
+            f"wrote baseline accepting {len(findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    # With `--sarif -` the JSON owns stdout; the human report moves to
+    # stderr so the output stays machine-consumable.
+    report = sys.stdout
+    if args.sarif:
+        doc = to_sarif(findings)
+        text = _json.dumps(doc, indent=2, sort_keys=False)
+        if args.sarif == "-":
+            print(text)
+            report = sys.stderr
+        else:
+            with open(args.sarif, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+
+    accepted_n = 0
+    to_report = findings
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except FileNotFoundError:
+            print(f"error: baseline {args.baseline!r} not found", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = baseline.apply(findings)
+        to_report = result.new
+        accepted_n = len(result.accepted)
+        for entry in result.stale:
+            print(
+                f"warning: stale baseline entry {entry.code} {entry.path} "
+                f"{entry.symbol} (no matching finding; remove it)",
+                file=sys.stderr,
+            )
+
+    for finding in to_report:
+        print(finding.format(hints=not args.no_hints), file=report)
+
+    suffix = f", {accepted_n} accepted by baseline" if args.baseline else ""
+    if to_report:
+        print(f"{len(to_report)} finding(s) in {n_files} file(s){suffix}", file=report)
+        return 1
+    print(f"clean: 0 findings in {n_files} file(s){suffix}", file=report)
     return 0
 
 
@@ -792,6 +909,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "catalog": _cmd_catalog,
         "lint": _cmd_lint,
+        "check": _cmd_check,
         "selfcheck": _cmd_selfcheck,
         "perf": _cmd_perf,
         "obs": _cmd_obs,

@@ -1,0 +1,72 @@
+"""Shared file discovery and suppression parsing for the QA tools.
+
+Both the per-file linter (``repro lint``) and the whole-program analyzer
+(``repro check``) operate on the same universe of files and honour the same
+line-scoped ``# qa: ignore[CODE]`` comments.  This module is the single
+implementation of both concerns so the two tools can never drift apart on
+which files they see or which suppressions they respect.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Sequence, Set
+
+__all__ = [
+    "iter_python_files",
+    "read_source",
+    "suppressed_codes_by_line",
+]
+
+#: ``# qa: ignore[QA-D001]`` (codes comma-separable, ``QA-`` prefix optional).
+_SUPPRESS_RE = re.compile(r"#\s*qa:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]")
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` (files or directories), sorted.
+
+    Directories are walked recursively; each file is yielded at most once
+    even when named through several overlapping roots.
+    """
+    seen: Set[str] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            candidates = [p]
+        else:
+            candidates = []
+        for f in candidates:
+            key = str(f)
+            if key not in seen:
+                seen.add(key)
+                yield key
+
+
+def read_source(path: str) -> str:
+    """Read a source file as UTF-8 text."""
+    return Path(path).read_text(encoding="utf-8")
+
+
+def suppressed_codes_by_line(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the set of ``QA-*`` codes suppressed there.
+
+    Codes are upper-cased and given the ``QA-`` prefix when omitted, so
+    ``# qa: ignore[d001, QA-F003]`` suppresses ``QA-D001`` and ``QA-F003``.
+    """
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            codes: Set[str] = set()
+            for raw in match.group(1).split(","):
+                code = raw.strip().upper()
+                if not code:
+                    continue
+                if not code.startswith("QA-"):
+                    code = f"QA-{code}"
+                codes.add(code)
+            out[lineno] = codes
+    return out

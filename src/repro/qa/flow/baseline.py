@@ -1,0 +1,155 @@
+"""Accepted-findings baseline for ``repro check``.
+
+A whole-program analyzer over-approximates; some findings are reviewed and
+*accepted* (with a written justification) rather than fixed.  The baseline
+file records those so CI can gate on "no findings beyond the baseline"
+while the accepted set stays visible, versioned and justified.
+
+Entries key on ``(code, path, symbol)`` - the rule, the file and the
+qualified function name - NOT on line numbers, so ordinary edits above a
+finding do not churn the baseline.  Matching normalizes path separators and
+tolerates a path-prefix difference (the committed baseline stores
+repo-relative paths; a checkout may analyze them through an absolute root).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.qa.flow.report import FlowFinding
+
+__all__ = ["BaselineEntry", "Baseline", "BaselineResult", "write_baseline"]
+
+SCHEMA = "repro-check-baseline/1"
+
+
+def _norm(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _paths_match(finding_path: str, entry_path: str) -> bool:
+    a, b = _norm(finding_path), _norm(entry_path)
+    if a == b:
+        return True
+    longer, shorter = (a, b) if len(a) >= len(b) else (b, a)
+    return longer.endswith("/" + shorter)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    code: str
+    path: str
+    symbol: str
+    justification: str
+
+    def matches(self, finding: FlowFinding) -> bool:
+        return (
+            finding.code == self.code
+            and finding.symbol == self.symbol
+            and _paths_match(finding.path, self.path)
+        )
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "code": self.code,
+            "path": _norm(self.path),
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of applying a baseline to a finding list."""
+
+    new: List[FlowFinding]
+    accepted: List[FlowFinding]
+    stale: List[BaselineEntry]
+
+
+class Baseline:
+    """A loaded set of accepted findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry]):
+        self.entries: Tuple[BaselineEntry, ...] = tuple(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"baseline {path!r} missing schema marker {SCHEMA!r}"
+            )
+        raw = data.get("findings")
+        if not isinstance(raw, list):
+            raise ValueError(f"baseline {path!r}: 'findings' must be a list")
+        entries: List[BaselineEntry] = []
+        for i, item in enumerate(raw):
+            if not isinstance(item, dict):
+                raise ValueError(f"baseline {path!r}: findings[{i}] not an object")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        code=str(item["code"]),
+                        path=str(item["path"]),
+                        symbol=str(item["symbol"]),
+                        justification=str(item.get("justification", "")),
+                    )
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"baseline {path!r}: findings[{i}] missing key {exc}"
+                ) from exc
+        return cls(entries)
+
+    def apply(self, findings: Sequence[FlowFinding]) -> BaselineResult:
+        new: List[FlowFinding] = []
+        accepted: List[FlowFinding] = []
+        used: set = set()
+        for finding in findings:
+            entry_hit = None
+            for i, entry in enumerate(self.entries):
+                if entry.matches(finding):
+                    entry_hit = i
+                    break
+            if entry_hit is None:
+                new.append(finding)
+            else:
+                accepted.append(finding)
+                used.add(entry_hit)
+        stale = [e for i, e in enumerate(self.entries) if i not in used]
+        return BaselineResult(new=new, accepted=accepted, stale=stale)
+
+
+def write_baseline(
+    findings: Sequence[FlowFinding], path: str, *, justification: str = "TODO: justify or fix"
+) -> None:
+    """Write a baseline accepting every current finding (for triage)."""
+    seen: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    for f in sorted(findings, key=FlowFinding.sort_key):
+        key = (f.code, _norm(f.path), f.symbol)
+        if key not in seen:
+            seen[key] = BaselineEntry(
+                code=f.code,
+                path=_norm(f.path),
+                symbol=f.symbol,
+                justification=justification,
+            )
+    doc = {
+        "schema": SCHEMA,
+        "findings": [
+            e.to_dict()
+            for e in sorted(seen.values(), key=lambda e: (e.path, e.code, e.symbol))
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,420 @@
+"""Spawn-safety passes: QA-F004 (worker state) and QA-F005 (mutable defaults).
+
+The campaign runner starts workers with the ``spawn`` context: a worker is
+a fresh interpreter that re-imports modules and unpickles everything handed
+to it.  Three classes of code break silently under that contract:
+
+* **Unpicklable process payloads** - lambdas, functions/classes defined
+  inside another function, generators and open handles cannot cross the
+  boundary; ``Process(target=...)``/``args=...`` referencing them fails at
+  start (or, worse, only on non-fork platforms).
+* **Module-global mutable state touched by worker-reachable code** - a
+  global dict/list mutated inside a worker is invisible to the parent and
+  to sibling workers, so results depend on which process ran the unit.
+  The pass walks the call graph from every spawn target and flags
+  mutations (``global`` rebinding, ``g[...] = ...``, ``g.append/update``)
+  of module-level mutable containers.
+* **Unpicklable instance state** - classes whose ``__init__`` stores
+  lambdas, open files, locks or generator objects produce instances that
+  cannot be shipped to workers even though constructing them in the parent
+  works fine.  Flagged when such a class's instances are passed as process
+  args.
+
+QA-F005 (mutable default arguments) rides along here because the shared
+default is exactly the kind of cross-call state the spawn analysis exists
+to rule out - and the fix (default to ``None``) is the same everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.qa.flow._shared import basename, iter_own_nodes, local_name_assignments
+from repro.qa.flow.callgraph import ClassInfo, FunctionInfo, Project, dotted_name
+from repro.qa.flow.report import FlowFinding
+
+__all__ = ["check_spawn_safety", "check_mutable_defaults"]
+
+#: Mutating method names on containers (conservative superset).
+_MUTATORS: Set[str] = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+}
+
+#: threading/socket primitives that never pickle.
+_UNPICKLABLE_CTORS: Set[str] = {
+    "Lock",
+    "RLock",
+    "Condition",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "local",
+    "socket",
+    "Thread",
+}
+
+
+def _finding(
+    func: FunctionInfo, node: ast.AST, message: str, trace: Tuple[str, ...] = ()
+) -> FlowFinding:
+    return FlowFinding(
+        path=func.path,
+        line=getattr(node, "lineno", func.lineno),
+        col=getattr(node, "col_offset", 0),
+        code="QA-F004",
+        message=message,
+        symbol=func.qualname,
+        trace=trace,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# spawn sites
+# --------------------------------------------------------------------------- #
+def _is_process_ctor(call: ast.Call) -> bool:
+    return basename(call.func) == "Process"
+
+
+def _keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _spawn_sites(project: Project) -> List[Tuple[FunctionInfo, ast.Call]]:
+    sites: List[Tuple[FunctionInfo, ast.Call]] = []
+    for func in project.functions.values():
+        for node in iter_own_nodes(func):
+            if isinstance(node, ast.Call) and _is_process_ctor(node):
+                sites.append((func, node))
+    return sites
+
+
+def _resolve_target(
+    project: Project, func: FunctionInfo, expr: ast.expr
+) -> Optional[FunctionInfo]:
+    """The FunctionInfo a ``target=`` expression names, if resolvable."""
+    module = project.modules.get(func.module)
+    if isinstance(expr, ast.Name):
+        local = project.function(f"{func.qualname}.{expr.id}")
+        if local is not None:
+            return local
+        if module is not None:
+            qual = project.resolve_in_module(module, expr.id)
+            if qual is not None:
+                return project.function(qual)
+    if isinstance(expr, ast.Attribute):
+        written = dotted_name(expr)
+        if written is not None and module is not None:
+            head = written.split(".", 1)[0]
+            target = module.imports.get(head)
+            if target is not None:
+                return project.function(written.replace(head, target, 1))
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# worker-reachable global-state scan
+# --------------------------------------------------------------------------- #
+def _binding_names(target: ast.expr) -> Set[str]:
+    """Names an assignment target *rebinds* (``x = ``, ``x, y = ``).
+
+    ``x[k] = `` and ``x.attr = `` mutate the object ``x`` names without
+    rebinding ``x`` itself, so their base names are NOT collected.
+    """
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: Set[str] = set()
+        for el in target.elts:
+            out |= _binding_names(el)
+        return out
+    if isinstance(target, ast.Starred):
+        return _binding_names(target.value)
+    return set()
+
+
+def _shadowed_names(func: FunctionInfo) -> Set[str]:
+    """Names that are parameters or locally (re)bound in ``func``."""
+    names: Set[str] = set(func.params) | set(func.kwonly)
+    for node in iter_own_nodes(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                names |= _binding_names(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            names |= _binding_names(node.target)
+    return names
+
+
+def _global_mutations(
+    project: Project, func: FunctionInfo
+) -> List[Tuple[ast.AST, str]]:
+    """(node, global-name) pairs where ``func`` mutates a module global."""
+    module = project.modules.get(func.module)
+    if module is None or not module.mutable_globals:
+        return []
+    declared_global: Set[str] = set()
+    for node in iter_own_nodes(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    shadowed = _shadowed_names(func) - declared_global
+    hits: List[Tuple[ast.AST, str]] = []
+    for node in iter_own_nodes(func):
+        if isinstance(node, ast.Global):
+            for name in node.names:
+                if name in module.mutable_globals:
+                    hits.append((node, name))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS and isinstance(node.func.value, ast.Name):
+                name = node.func.value.id
+                if name in module.mutable_globals and name not in shadowed:
+                    hits.append((node, name))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    name = target.value.id
+                    if name in module.mutable_globals and name not in shadowed:
+                        hits.append((node, name))
+    return hits
+
+
+# --------------------------------------------------------------------------- #
+# class picklability
+# --------------------------------------------------------------------------- #
+def _unpicklable_assignments(cls: ClassInfo) -> List[Tuple[ast.AST, str]]:
+    """(node, reason) pairs for members that cannot cross a spawn boundary."""
+    hits: List[Tuple[ast.AST, str]] = []
+
+    def classify(value: ast.expr) -> Optional[str]:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator"
+        if isinstance(value, ast.Call):
+            name = basename(value.func)
+            if name == "open":
+                return "an open file handle"
+            if name in _UNPICKLABLE_CTORS:
+                return f"a {name}() object"
+        return None
+
+    for stmt in ast.walk(cls.node):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                is_member = (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ) or isinstance(target, ast.Name)
+                if is_member:
+                    reason = classify(stmt.value)
+                    if reason is not None:
+                        hits.append((stmt, reason))
+    return hits
+
+
+def _classes_in_args(
+    project: Project, func: FunctionInfo, args_expr: ast.expr
+) -> List[Tuple[ClassInfo, ast.AST]]:
+    """Classes whose instances are shipped in a ``Process(args=...)`` tuple."""
+    module = project.modules.get(func.module)
+    assignments = local_name_assignments(func)
+    out: List[Tuple[ClassInfo, ast.AST]] = []
+    elements: Sequence[ast.expr]
+    if isinstance(args_expr, (ast.Tuple, ast.List)):
+        elements = args_expr.elts
+    else:
+        elements = [args_expr]
+
+    def class_of_call(call: ast.Call) -> Optional[ClassInfo]:
+        if module is None:
+            return None
+        name = basename(call.func)
+        if name is None:
+            return None
+        qual = project.resolve_in_module(module, name)
+        if qual is not None and qual in project.classes:
+            return project.classes[qual]
+        local_cls = project.classes.get(f"{func.qualname}.{name}")
+        return local_cls
+
+    for el in elements:
+        expr: Optional[ast.expr] = el
+        if isinstance(el, ast.Name):
+            expr = assignments.get(el.id)
+        if isinstance(expr, ast.Call):
+            cls = class_of_call(expr)
+            if cls is not None:
+                out.append((cls, el))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# the passes
+# --------------------------------------------------------------------------- #
+def check_spawn_safety(project: Project) -> List[FlowFinding]:
+    """QA-F004: state that does not survive the worker spawn boundary."""
+    findings: List[FlowFinding] = []
+    worker_roots: List[Tuple[FunctionInfo, FunctionInfo]] = []  # (site owner, root)
+
+    for func, call in _spawn_sites(project):
+        target = _keyword(call, "target") or (call.args[0] if call.args else None)
+        args_expr = _keyword(call, "args")
+        if isinstance(target, ast.Lambda):
+            findings.append(
+                _finding(
+                    func,
+                    target,
+                    "Process target is a lambda: not picklable under the "
+                    "spawn start method",
+                )
+            )
+        elif target is not None:
+            resolved = _resolve_target(project, func, target)
+            if resolved is not None:
+                if resolved.nested:
+                    findings.append(
+                        _finding(
+                            func,
+                            target,
+                            f"Process target `{resolved.qualname}` is defined "
+                            "inside a function: not picklable under spawn",
+                        )
+                    )
+                else:
+                    worker_roots.append((func, resolved))
+        if args_expr is not None:
+            elements = (
+                args_expr.elts
+                if isinstance(args_expr, (ast.Tuple, ast.List))
+                else [args_expr]
+            )
+            for el in elements:
+                if isinstance(el, ast.Lambda):
+                    findings.append(
+                        _finding(
+                            func,
+                            el,
+                            "Process args contain a lambda: not picklable "
+                            "under spawn",
+                        )
+                    )
+                elif isinstance(el, ast.GeneratorExp):
+                    findings.append(
+                        _finding(
+                            func,
+                            el,
+                            "Process args contain a generator: not picklable",
+                        )
+                    )
+            for cls, where in _classes_in_args(project, func, args_expr):
+                if cls.nested:
+                    findings.append(
+                        _finding(
+                            func,
+                            where,
+                            f"instance of `{cls.qualname}` (a class defined "
+                            "inside a function) shipped to a worker: not "
+                            "picklable under spawn",
+                        )
+                    )
+                for node, reason in _unpicklable_assignments(cls):
+                    findings.append(
+                        _finding(
+                            func,
+                            where,
+                            f"instance of `{cls.qualname}` shipped to a worker "
+                            f"holds {reason} "
+                            f"({cls.path}:{getattr(node, 'lineno', cls.lineno)}): "
+                            "not picklable under spawn",
+                            trace=(
+                                f"{func.qualname} ({func.path}:{getattr(where, 'lineno', func.lineno)})",
+                                f"{cls.qualname} ({cls.path}:{getattr(node, 'lineno', cls.lineno)})",
+                            ),
+                        )
+                    )
+
+    # Worker-reachable functions must not mutate module-global mutables.
+    roots = {root.qualname: owner for owner, root in worker_roots}
+    if roots:
+        reachable = project.reachable_from(roots.keys())
+        for qual in sorted(reachable):
+            worker_func = project.function(qual)
+            if worker_func is None:
+                continue
+            for node, name in _global_mutations(project, worker_func):
+                findings.append(
+                    FlowFinding(
+                        path=worker_func.path,
+                        line=getattr(node, "lineno", worker_func.lineno),
+                        col=getattr(node, "col_offset", 0),
+                        code="QA-F004",
+                        message=(
+                            f"`{worker_func.qualname}` mutates module-global "
+                            f"`{name}` and is reachable from a spawned worker "
+                            "entry point: the mutation is lost at the process "
+                            "boundary"
+                        ),
+                        symbol=worker_func.qualname,
+                    )
+                )
+    unique: Dict[Tuple[str, int, int, str], FlowFinding] = {}
+    for f in findings:
+        unique.setdefault((f.path, f.line, f.col, f.message), f)
+    return sorted(unique.values(), key=FlowFinding.sort_key)
+
+
+def check_mutable_defaults(project: Project) -> List[FlowFinding]:
+    """QA-F005: mutable default arguments anywhere in the analyzed tree."""
+    findings: List[FlowFinding] = []
+    for func in project.functions.values():
+        node = func.node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        defaults: List[Optional[ast.expr]] = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if default is None:
+                continue
+            mutable = isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+            ) or (
+                isinstance(default, ast.Call)
+                and basename(default.func) in ("list", "dict", "set", "bytearray")
+            )
+            if mutable:
+                findings.append(
+                    FlowFinding(
+                        path=func.path,
+                        line=default.lineno,
+                        col=default.col_offset,
+                        code="QA-F005",
+                        message=(
+                            f"mutable default argument in `{func.qualname}`: "
+                            "evaluated once at def time and shared by every call"
+                        ),
+                        symbol=func.qualname,
+                    )
+                )
+    return sorted(findings, key=FlowFinding.sort_key)

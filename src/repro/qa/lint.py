@@ -15,9 +15,10 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from pathlib import Path, PurePath
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from pathlib import PurePath
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.qa.files import iter_python_files, read_source, suppressed_codes_by_line
 from repro.qa.rules import RULES, SIM_SCOPED_SUBPACKAGES, Rule
 
 __all__ = ["Finding", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
@@ -476,29 +477,6 @@ class _RuleVisitor(ast.NodeVisitor):
 
 
 # --------------------------------------------------------------------------- #
-# suppression comments
-# --------------------------------------------------------------------------- #
-_SUPPRESS_RE = re.compile(r"#\s*qa:\s*ignore\[([A-Za-z0-9_\-,\s]+)\]")
-
-
-def _suppressed_codes_by_line(source: str) -> Dict[int, Set[str]]:
-    out: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match:
-            codes = set()
-            for raw in match.group(1).split(","):
-                code = raw.strip().upper()
-                if not code:
-                    continue
-                if not code.startswith("QA-"):
-                    code = f"QA-{code}"
-                codes.add(code)
-            out[lineno] = codes
-    return out
-
-
-# --------------------------------------------------------------------------- #
 # entry points
 # --------------------------------------------------------------------------- #
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
@@ -519,7 +497,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
         ]
     visitor = _RuleVisitor(path, scope)
     visitor.visit(tree)
-    suppressed = _suppressed_codes_by_line(source)
+    suppressed = suppressed_codes_by_line(source)
     findings = [
         f
         for f in visitor.findings
@@ -531,26 +509,7 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
 
 def lint_file(path: str) -> List[Finding]:
     """Lint one file on disk."""
-    text = Path(path).read_text(encoding="utf-8")
-    return lint_source(text, path=str(path))
-
-
-def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
-    """Yield ``.py`` files under ``paths`` (files or directories), sorted."""
-    seen: Set[str] = set()
-    for raw in paths:
-        p = Path(raw)
-        if p.is_dir():
-            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
-        elif p.suffix == ".py":
-            candidates = [p]
-        else:
-            candidates = []
-        for f in candidates:
-            key = str(f)
-            if key not in seen:
-                seen.add(key)
-                yield key
+    return lint_source(read_source(path), path=str(path))
 
 
 def lint_paths(paths: Sequence[str]) -> List[Finding]:

@@ -1,9 +1,11 @@
 """The QA rule and invariant catalogues.
 
 Static lint rules carry ``QA-D*`` (determinism), ``QA-U*`` (units) and
-``QA-S*`` (simulator safety) codes; runtime invariants enforced by the
-sanitizer carry ``QA-R*`` codes.  Codes are stable: once shipped they are
-never renumbered, so suppression comments and CI logs stay meaningful.
+``QA-S*`` (simulator safety) codes; whole-program flow rules enforced by the
+``repro check`` analyzer carry ``QA-F*`` codes; runtime invariants enforced
+by the sanitizer carry ``QA-R*`` codes.  Codes are stable: once shipped they
+are never renumbered, so suppression comments, baselines and CI logs stay
+meaningful.
 """
 
 from __future__ import annotations
@@ -28,6 +30,10 @@ class Rule:
     * ``"library"`` - only files inside the ``repro`` package;
     * ``"sim-core"`` - only the simulation subpackages
       (:data:`SIM_SCOPED_SUBPACKAGES`).
+
+    ``analyzer`` names the tool that enforces the rule: ``"lint"`` for the
+    single-file AST linter (``repro lint``), ``"flow"`` for the whole-program
+    call-graph analyzer (``repro check``).
     """
 
     code: str
@@ -37,6 +43,7 @@ class Rule:
     scope: str = "everywhere"
     example_bad: str = ""
     example_good: str = ""
+    analyzer: str = "lint"
 
 
 @dataclass(frozen=True)
@@ -174,6 +181,106 @@ _RULE_LIST: Tuple[Rule, ...] = (
         scope="everywhere",
         example_bad="cap_mbps = mbps_to_bytes_per_s(profile.rate_mbps)",
         example_good="cap_bytes_per_s = mbps_to_bytes_per_s(profile.rate_mbps)",
+    ),
+    # ------------------------------------------------------------- F-rules #
+    # Whole-program flow rules: enforced by `repro check` (repro.qa.flow),
+    # which sees across call and module boundaries the per-file linter
+    # cannot.  Suppress inline with `# qa: ignore[CODE]` or accept a finding
+    # in qa-baseline.json with a justification.
+    Rule(
+        code="QA-F001",
+        name="no-unseeded-rng-flow",
+        summary=(
+            "a generator-construction site (default_rng / SeedSequence / "
+            "PCG64 / SeedBank) can receive None through a call chain: some "
+            "caller omits the seed argument, so the stream is drawn from OS "
+            "entropy and the run is irreproducible"
+        ),
+        hint=(
+            "thread a SeedBank-derived seed through every call path; drop "
+            "`= None` seed defaults so forgetting a seed is a TypeError"
+        ),
+        scope="library",
+        example_bad=(
+            "def make(seed=None): return default_rng(seed)\n"
+            "gen = make()  # three files away"
+        ),
+        example_good="gen = make(bank.seed('probe', i))",
+        analyzer="flow",
+    ),
+    Rule(
+        code="QA-F002",
+        name="no-wall-clock-into-artefact",
+        summary=(
+            "a wall-clock value (time.time, datetime.now, ...) flows across "
+            "a call boundary into an artefact sink (TraceStore records, "
+            "saved JSONL/CSV, obs payloads, checkpoint manifests): the "
+            "artefact then differs run to run"
+        ),
+        hint=(
+            "keep wall clocks in telemetry (stderr/progress); artefact "
+            "fields must derive from the simulation clock or the plan"
+        ),
+        scope="library",
+        example_bad=(
+            "def stamp(): return time.time()\n"
+            "store.append(replace(rec, note=stamp()))"
+        ),
+        example_good="record fields carry sim.now; wall time goes to stderr",
+        analyzer="flow",
+    ),
+    Rule(
+        code="QA-F003",
+        name="no-unordered-iteration-into-artefact",
+        summary=(
+            "iteration over a dict/set whose order is not pinned feeds an "
+            "artefact sink or WorkUnit plan construction (possibly through "
+            "intermediate calls): output order then depends on insertion "
+            "history or hash seeds instead of a sorted key"
+        ),
+        hint=(
+            "iterate `sorted(d)` / `sorted(d.items())` (sets always; dicts "
+            "whenever construction order is not itself canonical) before "
+            "the values reach an artefact"
+        ),
+        scope="library",
+        example_bad="rows = [fmt(k, v) for k, v in groups.items()]",
+        example_good="rows = [fmt(k, groups[k]) for k in sorted(groups)]",
+        analyzer="flow",
+    ),
+    Rule(
+        code="QA-F004",
+        name="no-spawn-unsafe-worker-state",
+        summary=(
+            "state reachable from a worker-process entry point does not "
+            "survive the spawn boundary: module-global mutables mutated in "
+            "workers, unpicklable captures (lambdas, open handles, locks) "
+            "passed as process args, or nested functions used as targets"
+        ),
+        hint=(
+            "workers must rebuild context from picklable plan data "
+            "(module-level target fn + primitive args); module globals "
+            "written in a worker are invisible to the parent and to other "
+            "workers"
+        ),
+        scope="library",
+        example_bad="Process(target=lambda: run(unit), args=())",
+        example_good="Process(target=_worker_main, args=(spec, seed))",
+        analyzer="flow",
+    ),
+    Rule(
+        code="QA-F005",
+        name="no-mutable-default-argument",
+        summary=(
+            "a mutable default argument ([] / {} / set() / dict() / list()) "
+            "is evaluated once at def time and shared by every call: state "
+            "leaks between logically independent invocations"
+        ),
+        hint="default to None and construct the fresh container inside the body",
+        scope="library",
+        example_bad="def collect(into=[]): into.append(x); return into",
+        example_good="def collect(into=None): into = [] if into is None else into",
+        analyzer="flow",
     ),
     # ------------------------------------------------------------- S-rules #
     Rule(

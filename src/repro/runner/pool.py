@@ -613,7 +613,7 @@ def execute_plan(
     if checkpoint is not None:
         ckpt = CheckpointStore.open_or_create(checkpoint, plan, resume=resume)
         done = ckpt.completed_units()
-        for index, (unit_id, _record) in done.items():
+        for index, (unit_id, _record) in sorted(done.items()):
             if index >= len(plan) or plan.units[index].unit_id != unit_id:
                 raise RunnerError(
                     f"checkpoint unit {index} does not belong to this plan "

@@ -26,7 +26,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.trace.records import FailureRecord
+from repro.trace.records import FailureRecord, StripeRecord
 from repro.util.units import mb
 
 __all__ = [
@@ -36,6 +36,10 @@ __all__ = [
     "recovery_times",
     "goodput_under_failure",
     "render_availability",
+    "StripeDegradationStats",
+    "stripe_degradation_stats",
+    "stripe_degradation_by_k",
+    "render_stripe_degradation",
 ]
 
 
@@ -207,6 +211,144 @@ def render_availability(records: Sequence[FailureRecord]) -> str:
             f"{_fmt(stats.availability, pct=True):>8} "
             f"{_fmt(stats.recovery_rate, pct=True):>8} "
             f"{_fmt(stats.mean_ttr):>9} "
+            f"{stats.n_aborted:>8}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# striped sessions: degradation instead of recovery
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class StripeDegradationStats:
+    """Availability of striped sessions, which *degrade* rather than recover.
+
+    A select-one session that loses its path stalls until failover answers
+    the stall; a striped session that loses a path keeps delivering on the
+    surviving lanes, so the comparable availability question is not
+    "how fast did it recover" but "how much goodput did it retain".
+
+    Attributes
+    ----------
+    n_sessions / n_clean / n_degraded / n_aborted:
+        Session counts: ``clean`` completed with every path alive,
+        ``degraded`` delivered the whole file despite losing at least one
+        path, ``aborted`` gave up.
+    availability:
+        Fraction of sessions that delivered the whole file (clean or
+        degraded); NaN with no sessions.
+    mean_goodput_clean / mean_goodput_degraded:
+        Mean whole-session goodput (bytes/second) of clean and degraded
+        sessions; NaN when a group is empty.
+    goodput_retained:
+        ``mean_goodput_degraded / mean_goodput_clean`` - the fraction of
+        healthy-stripe goodput a session keeps while riding out a path
+        outage; NaN when either group is empty.
+    byte_unavailability:
+        ``1 - (delivered bytes / requested bytes)`` over all sessions.
+    """
+
+    n_sessions: int
+    n_clean: int
+    n_degraded: int
+    n_aborted: int
+    availability: float
+    mean_goodput_clean: float
+    mean_goodput_degraded: float
+    goodput_retained: float
+    byte_unavailability: float
+
+
+def _stripe_goodput(r: StripeRecord) -> float:
+    if r.selected_duration <= 0.0:
+        return 0.0
+    return r.bytes_received / r.selected_duration
+
+
+def stripe_degradation_stats(
+    records: Sequence[StripeRecord],
+) -> StripeDegradationStats:
+    """Summarise degradation behaviour over stripe rows (empty is legal).
+
+    Select-mechanism rows are ignored so the function can be fed a whole
+    mixed ``repro mhttp`` store unfiltered.
+    """
+    rows = [r for r in records if r.mechanism == "stripe"]
+    clean = [r for r in rows if r.outcome == "completed" and r.n_path_failures == 0]
+    degraded = [r for r in rows if r.degraded]
+    n_aborted = sum(1 for r in rows if r.aborted)
+
+    goodput_clean = _mean([_stripe_goodput(r) for r in clean])
+    goodput_degraded = _mean([_stripe_goodput(r) for r in degraded])
+    retained = (
+        goodput_degraded / goodput_clean
+        if math.isfinite(goodput_clean)
+        and math.isfinite(goodput_degraded)
+        and goodput_clean > 0.0
+        else math.nan
+    )
+    requested = sum(r.file_bytes for r in rows)
+    delivered = sum(min(r.bytes_received, r.file_bytes) for r in rows)
+    return StripeDegradationStats(
+        n_sessions=len(rows),
+        n_clean=len(clean),
+        n_degraded=len(degraded),
+        n_aborted=n_aborted,
+        availability=(len(clean) + len(degraded)) / len(rows) if rows else math.nan,
+        mean_goodput_clean=goodput_clean,
+        mean_goodput_degraded=goodput_degraded,
+        goodput_retained=retained,
+        byte_unavailability=(
+            1.0 - delivered / requested if requested > 0.0 else math.nan
+        ),
+    )
+
+
+def stripe_degradation_by_k(
+    records: Sequence[StripeRecord],
+) -> Dict[int, StripeDegradationStats]:
+    """Per-stripe-width degradation stats, keyed by k in ascending order."""
+    by_k: Dict[int, List[StripeRecord]] = {}
+    for r in records:
+        if r.mechanism == "stripe":
+            by_k.setdefault(r.stripe_k, []).append(r)
+    return {k: stripe_degradation_stats(by_k[k]) for k in sorted(by_k)}
+
+
+def render_stripe_degradation(records: Sequence[StripeRecord]) -> str:
+    """Human-readable degradation table for striped sessions."""
+    lines: List[str] = []
+    overall = stripe_degradation_stats(records)
+    lines.append("Striped-session degradation")
+    lines.append("=" * 68)
+    lines.append(
+        f"sessions: {overall.n_sessions}  "
+        f"(clean {overall.n_clean}, degraded {overall.n_degraded}, "
+        f"aborted {overall.n_aborted})"
+    )
+    lines.append(
+        f"availability: {_fmt(overall.availability, pct=True)}   "
+        f"byte unavailability: {_fmt(overall.byte_unavailability, pct=True)}"
+    )
+    lines.append(
+        "goodput (MB/s): clean "
+        f"{_fmt(overall.mean_goodput_clean / mb(1))}  degraded "
+        f"{_fmt(overall.mean_goodput_degraded / mb(1))}  retained "
+        f"{_fmt(overall.goodput_retained, pct=True)}"
+    )
+    lines.append("")
+    lines.append(
+        f"{'k':>3} {'n':>5} {'avail':>8} {'clean MB/s':>11} "
+        f"{'degr MB/s':>10} {'retained':>9} {'aborted':>8}"
+    )
+    lines.append("-" * 68)
+    for k, stats in stripe_degradation_by_k(records).items():
+        lines.append(
+            f"{k:>3} {stats.n_sessions:>5} "
+            f"{_fmt(stats.availability, pct=True):>8} "
+            f"{_fmt(stats.mean_goodput_clean / mb(1)):>11} "
+            f"{_fmt(stats.mean_goodput_degraded / mb(1)):>10} "
+            f"{_fmt(stats.goodput_retained, pct=True):>9} "
             f"{stats.n_aborted:>8}"
         )
     return "\n".join(lines)

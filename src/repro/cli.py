@@ -167,6 +167,50 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--out", required=True, help="output JSONL path")
     _add_runner_args(fl)
 
+    mh = sub.add_parser(
+        "mhttp",
+        help="run the mHTTP striping study (select-one vs stripe-k)",
+    )
+    mh.add_argument(
+        "--reps",
+        type=int,
+        default=8,
+        help="repetition slots per client (cycling healthy/node-crash injection)",
+    )
+    mh.add_argument("--seed", type=int, default=2007)
+    mh.add_argument("--site", default="eBay", help="target site (default: eBay)")
+    mh.add_argument("--clients", default=None, help="comma-separated client subset")
+    mh.add_argument(
+        "--ks",
+        default="2,3,4",
+        help="comma-separated stripe widths, paths including direct (default 2,3,4)",
+    )
+    mh.add_argument(
+        "--interval",
+        type=float,
+        default=360.0,
+        help="seconds between a client's repetition slots (default 360)",
+    )
+    mh.add_argument(
+        "--block-kb", type=float, default=512.0,
+        help="stripe block size in kB (default 512)",
+    )
+    mh.add_argument(
+        "--window", type=int, default=2,
+        help="per-path in-flight block window (default 2)",
+    )
+    mh.add_argument(
+        "--crash-duration", type=float, default=240.0,
+        help="node-mode relay outage length, seconds (default 240)",
+    )
+    mh.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny deterministic campaign (2 clients x 2 reps, k=2) for smoke runs",
+    )
+    mh.add_argument("--out", required=True, help="output JSONL path")
+    _add_runner_args(mh)
+
     rep = sub.add_parser("report", help="render artefacts from a saved store")
     rep.add_argument("store", help="JSONL store written by section2/section4")
     rep.add_argument(
@@ -592,6 +636,73 @@ def _cmd_failures(args) -> int:
     return 0
 
 
+def _cmd_mhttp(args) -> int:
+    from repro.analysis.mhttp import render_mhttp
+    from repro.util.units import kb
+    from repro.workloads.mhttp import (
+        MHTTP_SESSION_CONFIG,
+        MhttpStudyParams,
+        plan_mhttp,
+    )
+
+    if args.site not in SITES:
+        print(
+            f"error: unknown site {args.site!r}; choose from {list(SITES)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        ks = [int(v) for v in args.ks.split(",") if v.strip()]
+    except ValueError:
+        print("error: --ks must be comma-separated integers", file=sys.stderr)
+        return 2
+    if not ks or any(k < 2 for k in ks):
+        print("error: stripe widths must be >= 2", file=sys.stderr)
+        return 2
+    scenario = Scenario.build(
+        ScenarioSpec.section2(sites=(args.site,)), seed=args.seed
+    )
+    clients = _dedupe("clients", _split_csv(args.clients))
+    if clients:
+        missing = [c for c in clients if c not in scenario.client_names]
+        if missing:
+            print(f"error: unknown clients {missing}", file=sys.stderr)
+            return 2
+    reps = args.reps
+    if args.quick:
+        # A fixed tiny campaign: both mechanisms and both injection modes
+        # once per client at k=2, finishes in seconds.
+        reps = 2
+        ks = [2]
+        clients = clients or scenario.client_names[:2]
+    params = MhttpStudyParams(
+        block_bytes=kb(args.block_kb),
+        window=args.window,
+        crash_duration=args.crash_duration,
+    )
+    plan = plan_mhttp(
+        scenario,
+        repetitions=reps,
+        interval=args.interval,
+        ks=ks,
+        config=MHTTP_SESSION_CONFIG,
+        params=params,
+        site=args.site,
+        clients=clients,
+    )
+    with _obs_capture(args):
+        result = execute_plan(plan, scenario=scenario, **_runner_kwargs(args))
+    store = result.store
+    if store is None:  # pragma: no cover - max_units is not exposed here
+        print("campaign incomplete; resume with --checkpoint/--resume")
+        return 1
+    store.save_jsonl(args.out)
+    print(f"wrote {len(store)} records to {args.out}")
+    print()
+    print(render_mhttp(store.records))
+    return 0
+
+
 def _render_artifact(name: str, store: TraceStore, *, client: str) -> str:
     if name == "all":
         return full_report(store, table3_client=client)
@@ -906,6 +1017,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "section2": _cmd_section2,
         "section4": _cmd_section4,
         "failures": _cmd_failures,
+        "mhttp": _cmd_mhttp,
         "report": _cmd_report,
         "catalog": _cmd_catalog,
         "lint": _cmd_lint,

@@ -59,9 +59,15 @@ class SessionOutcome(enum.Enum):
     FAILED_OVER = "failed_over"
     #: The session gave up (probe timeout, retry budget or deadline).
     ABORTED = "aborted"
+    #: Every byte arrived, but the session lost at least one of its striped
+    #: paths on the way (striped sessions degrade rather than fail over).
+    DEGRADED = "degraded"
 
 
-#: Valid :attr:`RecoveryEvent.kind` values, in rough lifecycle order.
+#: Valid :attr:`RecoveryEvent.kind` values, in rough lifecycle order.  The
+#: last two belong to striped sessions (:mod:`repro.stripe`): ``path_dead``
+#: when a stripe path stops progressing and returns its blocks, ``reissue``
+#: when a tail block is speculatively duplicated onto a second path.
 RECOVERY_EVENT_KINDS: Tuple[str, ...] = (
     "stall",
     "failover",
@@ -69,6 +75,8 @@ RECOVERY_EVENT_KINDS: Tuple[str, ...] = (
     "reprobe",
     "probe_timeout",
     "abort",
+    "path_dead",
+    "reissue",
 )
 
 

@@ -233,6 +233,37 @@ class TransferSession:
         path = self._builder.indirect(client, relay, server)
         return self._full_download(path, client, server, resource)
 
+    def download_striped(
+        self,
+        client: str,
+        server: str,
+        resource: str,
+        relays: Sequence[str],
+        stripe: "object" = None,
+    ):
+        """One mHTTP-style striped download over direct + ``relays``.
+
+        The rival mechanism to :meth:`download`: instead of racing probes
+        and committing to one winner, fixed-size blocks of the object are
+        fetched over every path simultaneously (see :mod:`repro.stripe`).
+        ``stripe`` is a :class:`~repro.stripe.blocks.StripeConfig`
+        (defaulted when ``None``); TCP parameters and the transport engine
+        are shared with this session.  Returns a
+        :class:`~repro.stripe.session.StripeResult`.
+        """
+        from repro.stripe.blocks import StripeConfig
+        from repro.stripe.session import StripedSession
+
+        config = stripe if stripe is not None else StripeConfig()
+        if not isinstance(config, StripeConfig):
+            raise TypeError(
+                f"stripe must be a StripeConfig, got {type(config)!r}"
+            )
+        striper = StripedSession(
+            self._network, self._builder, config, tcp=self._config.tcp
+        )
+        return striper.download(client, server, resource, relays)
+
     def download(
         self,
         client: str,

@@ -68,6 +68,15 @@ class HttpTransfer:
         """True only for successfully completed transfers."""
         return self.flow.completed_at is not None and self.flow.remaining == 0.0
 
+    @property
+    def delivered(self) -> float:
+        """Body bytes delivered so far (full size once completed).
+
+        Striped sessions poll this for duplicate-byte accounting when a
+        losing block copy is torn down mid-flight.
+        """
+        return float(self.flow.delivered)
+
     def duration(self) -> float:
         """Request-to-last-byte time in seconds."""
         return self.flow.duration()

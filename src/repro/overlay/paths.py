@@ -105,6 +105,22 @@ class OverlayPathBuilder:
             proxy=proxy,
         )
 
+    def striped(
+        self, client: str, relays: List[str], server: str
+    ) -> List[OverlayPath]:
+        """Path handles for a striped session: direct first, then ``relays``.
+
+        The direct path always leads the list (it is the stripe's anchor
+        lane and the last-resort carrier when every relay path dies);
+        ``relays`` must be distinct deployed relay names.
+        """
+        self.registry.require_deployed(relays)
+        if len(set(relays)) != len(relays):
+            raise ValueError(f"duplicate relays in stripe set: {relays}")
+        return [self.direct(client, server)] + [
+            self.indirect(client, relay, server) for relay in relays
+        ]
+
     def all_indirect(self, client: str, server: str) -> List[OverlayPath]:
         """Indirect path handles through every deployed relay (the full set)."""
         return [

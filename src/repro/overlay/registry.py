@@ -40,6 +40,18 @@ class RelayRegistry:
         for proxy in self._proxies.values():
             proxy.register_origin(server)
 
+    def require_deployed(self, names: Iterable[str]) -> None:
+        """Fail fast unless every name in ``names`` is a deployed relay.
+
+        Multi-path consumers (striped sessions) validate their whole relay
+        set up front, so a typo surfaces before any flow starts.
+        """
+        missing = [name for name in names if name not in self._proxies]
+        if missing:
+            raise KeyError(
+                f"relays {missing} are not deployed (have {self.names})"
+            )
+
     @property
     def names(self) -> List[str]:
         """Names of all deployed relays, in deployment order (the full set)."""

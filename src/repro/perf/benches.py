@@ -329,6 +329,64 @@ def _bench_campaign_mini(quick: bool) -> Dict[str, Any]:
     return result
 
 
+# --------------------------------------------------------------------------- #
+# striped session: block-scheduler overhead per committed block
+# --------------------------------------------------------------------------- #
+def _bench_stripe_session(quick: bool) -> Dict[str, Any]:
+    # Lazy imports for the same reason as the mini-campaign bench.
+    from repro.stripe.blocks import StripeConfig
+    from repro.util.units import kb
+    from repro.workloads.scenario import Scenario, ScenarioSpec
+
+    # Deliberately small blocks: the object is fixed, so shrinking the block
+    # multiplies scheduler decisions (claim/commit/refill) while the fluid
+    # work stays constant - the per-block cost isolates scheduler overhead.
+    block_kb = 128.0 if quick else 64.0
+    rounds = 2 if quick else 3
+    scenario = Scenario.build(ScenarioSpec.section2(sites=("eBay",)), seed=2007)
+    relays = scenario.relay_names[:2]
+    stripe = StripeConfig(block_bytes=kb(block_kb), window=2)
+
+    n_blocks = 0
+
+    def run_session() -> None:
+        nonlocal n_blocks
+        universe = scenario.universe(0.0)
+        result = universe.session.download_striped(
+            "Taiwan", "eBay", scenario.resource, relays, stripe=stripe
+        )
+        n_blocks = result.n_blocks
+
+    def run_mode(baseline_mode: bool) -> Measurement:
+        previous = os.environ.get(_BASELINE_ENV_VAR)
+        os.environ[_BASELINE_ENV_VAR] = "1" if baseline_mode else "0"
+        try:
+            first = measure(run_session, ops=1, rounds=1, warmup=1)
+            if n_blocks <= 0:  # pragma: no cover - defensive
+                raise RuntimeError("stripe bench committed no blocks")
+            m = measure(run_session, ops=n_blocks, rounds=rounds, warmup=0)
+            return Measurement(
+                ns_per_op=m.ns_per_op,
+                ops=m.ops,
+                rounds=m.rounds,
+                elapsed_s=m.elapsed_s + first.elapsed_s,
+            )
+        finally:
+            if previous is None:
+                del os.environ[_BASELINE_ENV_VAR]
+            else:
+                os.environ[_BASELINE_ENV_VAR] = previous
+
+    opt = run_mode(False)
+    base = run_mode(True)
+    return {
+        "optimised": opt.ns_per_op,
+        "baseline": base.ns_per_op,
+        "blocks": n_blocks,
+        **_measurement_fields(opt),
+    }
+
+
 #: Registry, in report order.
 BENCHES: Dict[str, BenchSpec] = {
     spec.name: spec
@@ -362,6 +420,12 @@ BENCHES: Dict[str, BenchSpec] = {
             "fluid tick at capacity breakpoints: incremental vs rebuild engine",
             "ns/op",
             _bench_tick_breakpoint,
+        ),
+        BenchSpec(
+            "stripe_session",
+            "striped session, small blocks: scheduler overhead per block",
+            "ns/block",
+            _bench_stripe_session,
         ),
         BenchSpec(
             "campaign_mini",

@@ -95,6 +95,10 @@ class WorkUnit:
     #: Study-specific discriminator (e.g. the failure study's injection
     #: mode); ``None`` for the classic §2/§4 campaigns.
     variant: Optional[str] = None
+    #: Unit-runner selector for studies with their own execution function
+    #: (e.g. ``"mhttp"`` for the striping study); ``None`` routes through
+    #: the legacy paired-transfer / failure-study dispatch.
+    runner: Optional[str] = None
 
     @property
     def unit_id(self) -> str:
@@ -108,10 +112,13 @@ class WorkUnit:
             "offered": list(self.offered),
             "set_size_label": self.set_size_label,
         }
-        # Variant-free units hash exactly as they did before the field
-        # existed, keeping historical checkpoints resumable.
+        # Variant-free (and runner-free) units hash exactly as they did
+        # before those fields existed, keeping historical checkpoints
+        # resumable.
         if self.variant is not None:
             payload_dict["variant"] = self.variant
+        if self.runner is not None:
+            payload_dict["runner"] = self.runner
         payload = _canonical(payload_dict)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 

@@ -123,11 +123,17 @@ def run_unit(
 ) -> TransferRecord:
     """Execute one work unit (the default unit runner, used by workers).
 
-    Units carrying a ``variant`` belong to a study with its own runner
-    (currently the failure study) and are dispatched there together with
-    the plan's ``extra`` parameters; plain units run the classic paired
-    transfer.
+    Units carrying a ``runner`` name dispatch to that study's execution
+    function; units carrying only a ``variant`` belong to the failure
+    study.  Both receive the plan's ``extra`` parameters.  Plain units run
+    the classic paired transfer.
     """
+    if unit.runner is not None:
+        if unit.runner == "mhttp":
+            from repro.workloads.mhttp import run_mhttp_unit
+
+            return run_mhttp_unit(scenario, config, unit, extra)
+        raise ValueError(f"unknown unit runner {unit.runner!r}")
     if unit.variant is not None:
         from repro.workloads.failures import run_failure_unit
 

@@ -1,0 +1,483 @@
+"""The striped transfer session: k concurrent paths, one object.
+
+:class:`StripedSession` is the mHTTP-style client.  Where the paper's
+:class:`~repro.core.session.TransferSession` probes, picks one path and
+commits, a striped session opens the direct path plus ``k - 1`` relay paths
+*at once* and pulls disjoint fixed-size blocks over all of them:
+
+1. every path keeps up to ``window`` blocks in flight; when a block lands,
+   the path immediately claims the next unclaimed block (work stealing -
+   fast paths carry more of the object);
+2. once the unclaimed pool drains, idle paths speculatively re-issue
+   outstanding tail blocks (straggler mitigation; the losing copy's bytes
+   are booked as duplicate waste);
+3. a path whose in-flight blocks make no progress over a full health-check
+   window is declared dead: its transfers are aborted and its blocks return
+   to the scheduler for the surviving paths - no session-level failover
+   gap, which is precisely the property the ``repro mhttp`` study measures
+   against select-one under the PR 4 failure model;
+4. on completion the reassembly buffer proves the result byte-identical to
+   a single-path fetch (:meth:`~repro.stripe.blocks.ReassemblyBuffer.verify`).
+
+Everything is deterministic: lanes are iterated in path order, completions
+are drained in simulation event order, health checks fire at times derived
+from the sim clock only, and the scheduler draws no randomness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.resilience import RecoveryEvent, SessionOutcome
+from repro.http.messages import HttpRequest
+from repro.http.transfer import HttpTransfer, TcpParams, issue_download
+from repro.overlay.paths import OverlayPath, OverlayPathBuilder
+from repro.sim.errors import TransferError
+from repro.stripe.blocks import (
+    BlockScheduler,
+    ReassemblyBuffer,
+    StripeConfig,
+)
+from repro.tcp.fluid import FluidNetwork
+
+__all__ = ["StripeResult", "StripedSession"]
+
+
+@dataclass
+class StripeResult:
+    """Everything observed about one striped download.
+
+    The field set deliberately mirrors
+    :class:`~repro.core.session.SessionResult` (``client``/``server``/
+    ``resource``/``size``/timestamps/``outcome``/``recovery_events``/
+    ``bytes_received``), so the runtime sanitizer's session post-conditions
+    apply unchanged; the stripe-specific columns quantify the striping
+    itself.
+    """
+
+    client: str
+    server: str
+    resource: str
+    size: float
+    paths: Tuple[str, ...]
+    requested_at: float
+    completed_at: float
+    outcome: SessionOutcome = SessionOutcome.COMPLETED
+    recovery_events: Tuple[RecoveryEvent, ...] = ()
+    bytes_received: Optional[float] = None
+    #: Stripe geometry and accounting.
+    block_bytes: float = 0.0
+    n_blocks: int = 0
+    bytes_by_path: Tuple[Tuple[str, float], ...] = ()
+    wasted_bytes: float = 0.0
+    n_reissues: int = 0
+    n_duplicate_blocks: int = 0
+    failed_paths: Tuple[str, ...] = ()
+    #: Content digest of the reassembled object (empty for aborted sessions).
+    digest: str = ""
+
+    #: Striped sessions have no separate probe/bulk phases; the sanitizer's
+    #: session post-conditions read this field, so it exists and is None.
+    remainder_started_at: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        """Request-to-last-byte time in seconds."""
+        return self.completed_at - self.requested_at
+
+    @property
+    def delivered(self) -> float:
+        """Payload bytes the client actually received (waste excluded)."""
+        return self.size if self.bytes_received is None else self.bytes_received
+
+    @property
+    def end_to_end_throughput(self) -> float:
+        """Whole-session goodput in bytes/second (0.0 for degenerate times)."""
+        if self.duration <= 0.0:
+            return 0.0
+        return self.delivered / self.duration
+
+    @property
+    def k(self) -> int:
+        """Number of paths the stripe opened (direct included)."""
+        return len(self.paths)
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Duplicate/discarded bytes relative to the object size."""
+        if self.size <= 0.0:
+            return 0.0
+        return self.wasted_bytes / self.size
+
+
+@dataclass
+class _Lane:
+    """One path's in-flight state inside a striped session."""
+
+    path: OverlayPath
+    inflight: Dict[int, HttpTransfer] = field(default_factory=dict)
+    issued_at: Dict[int, float] = field(default_factory=dict)
+    #: Bytes fully accounted from transfers that left ``inflight``.
+    banked: float = 0.0
+    #: Committed payload bytes this lane contributed.
+    payload: float = 0.0
+    alive: bool = True
+    #: Progress marker at the previous health check.
+    last_progress: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return self.path.label
+
+    def progress(self, now: float) -> float:
+        """Monotone delivered-bytes marker used by the health check."""
+        return self.banked + sum(
+            float(t.flow.delivered_at(now)) for t in self.inflight.values()
+        )
+
+
+class StripedSession:
+    """Runs striped multi-path downloads on one fluid network.
+
+    Parameters
+    ----------
+    network:
+        Transport engine (bound to a simulator).
+    builder:
+        Overlay path builder over the scenario topology.
+    config:
+        Stripe mechanism parameters (block size, windows, health checks).
+    tcp:
+        Per-connection TCP parameters for every block transfer.
+    """
+
+    def __init__(
+        self,
+        network: FluidNetwork,
+        builder: OverlayPathBuilder,
+        config: StripeConfig = StripeConfig(),
+        *,
+        tcp: TcpParams = TcpParams(),
+    ):
+        self._network = network
+        self._builder = builder
+        self._config = config
+        self._tcp = tcp
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._network.sim.now
+
+    # ------------------------------------------------------------------ #
+    def download(
+        self,
+        client: str,
+        server: str,
+        resource: str,
+        relays: Sequence[str],
+    ) -> StripeResult:
+        """One striped download over direct + ``relays`` (k = 1 + len(relays)).
+
+        An empty ``relays`` degenerates to a single-path (direct) stripe,
+        which is the block-granular equivalent of the control client.
+        """
+        paths = self._builder.striped(client, list(relays), server)
+        return self._download_over(paths, client, server, resource)
+
+    def _download_over(
+        self,
+        paths: List[OverlayPath],
+        client: str,
+        server: str,
+        resource: str,
+    ) -> StripeResult:
+        cfg = self._config
+        sim = self._network.sim
+        size = float(paths[0].server.resource_size(resource))
+        requested_at = self.now
+        deadline_at = (
+            math.inf
+            if cfg.transfer_deadline is None
+            else requested_at + cfg.transfer_deadline
+        )
+        sched = BlockScheduler(size, cfg.block_bytes)
+        buf = ReassemblyBuffer(resource, int(size))
+        lanes = [_Lane(path=p) for p in paths]
+        by_label = {lane.label: lane for lane in lanes}
+        if len(by_label) != len(lanes):
+            raise ValueError(
+                f"duplicate stripe paths: {[l.label for l in lanes]}"
+            )
+
+        #: (block, lane label, transfer) completions queued by the engine,
+        #: drained in event order after each sim advance.
+        completed: List[Tuple[int, str, HttpTransfer]] = []
+        events: List[RecoveryEvent] = []
+        wasted = 0.0
+        n_reissues = 0
+        n_duplicates = 0
+        aborted = False
+
+        def issue(lane: _Lane, block: int, *, reissued: bool) -> None:
+            rng = sched.block_range(block)
+            request = HttpRequest(
+                host=lane.path.server.name,
+                path=resource,
+                byte_range=rng,
+                via=lane.path.via,
+            )
+            label = lane.label
+            transfer = issue_download(
+                self._network,
+                lane.path.route,
+                lane.path.server,
+                request,
+                proxy=lane.path.proxy,
+                tcp=self._tcp,
+                on_complete=lambda tr, b=block, lab=label: completed.append(
+                    (b, lab, tr)
+                ),
+                name=f"stripe:{label}:b{block}",
+            )
+            lane.inflight[block] = transfer
+            lane.issued_at[block] = self.now
+            obs = sim.observer
+            if obs is not None:
+                obs.count("stripe.blocks.issued")
+                if reissued:
+                    obs.count("stripe.blocks.reissued")
+
+        def refill() -> None:
+            nonlocal n_reissues
+            for lane in lanes:
+                if not lane.alive:
+                    continue
+                while len(lane.inflight) < cfg.window:
+                    block = sched.claim(lane.label)
+                    reissued = False
+                    if block is None and cfg.straggler_reissue:
+                        block = sched.reissue(
+                            lane.label, max_copies=cfg.max_copies
+                        )
+                        reissued = block is not None
+                    if block is None:
+                        break
+                    if reissued:
+                        n_reissues += 1
+                        events.append(RecoveryEvent(
+                            time=self.now,
+                            kind="reissue",
+                            path=lane.label,
+                            bytes_received=float(buf.committed_bytes),
+                            detail=float(block),
+                        ))
+                    issue(lane, block, reissued=reissued)
+
+        def retire(lane: _Lane, block: int) -> Tuple[float, HttpTransfer]:
+            """Remove ``block`` from ``lane``; returns (delivered, transfer)."""
+            transfer = lane.inflight.pop(block)
+            lane.issued_at.pop(block, None)
+            got = float(transfer.flow.delivered)
+            lane.banked += got
+            return got, transfer
+
+        def kill_lane(lane: _Lane) -> None:
+            nonlocal wasted
+            lane.alive = False
+            returned = sorted(lane.inflight)
+            for block in returned:
+                got, transfer = retire(lane, block)
+                wasted += got
+                if not transfer.done:
+                    transfer.abort(self._network)
+                sched.release(block, lane.label)
+            events.append(RecoveryEvent(
+                time=self.now,
+                kind="path_dead",
+                path=lane.label,
+                bytes_received=float(buf.committed_bytes),
+                detail=float(len(returned)),
+            ))
+            obs = sim.observer
+            if obs is not None:
+                obs.count("stripe.path_dead")
+                obs.count("stripe.blocks.returned", float(len(returned)))
+
+        def drain() -> None:
+            nonlocal wasted, n_duplicates
+            while completed:
+                block, label, transfer = completed.pop(0)
+                lane = by_label[label]
+                if block not in lane.inflight:
+                    continue  # lane died in this very batch; already booked
+                got, _ = retire(lane, block)
+                if block in sched.outstanding and label in sched.carriers_of(
+                    block
+                ):
+                    losers = sched.commit(block, label)
+                    rng = sched.block_range(block)
+                    buf.commit(rng.first, rng.last)
+                    lane.payload += got
+                    obs = sim.observer
+                    if obs is not None:
+                        obs.span(
+                            "stripe",
+                            f"block:{block}",
+                            lane.issued_at.get(block, requested_at),
+                            self.now,
+                            path=label,
+                            first=rng.first,
+                            last=rng.last,
+                            bytes=got,
+                        )
+                        obs.count("stripe.blocks.committed")
+                    for loser_label in losers:
+                        loser = by_label[loser_label]
+                        lost, lost_tr = retire(loser, block)
+                        wasted += lost
+                        n_duplicates += 1
+                        if not lost_tr.done:
+                            lost_tr.abort(self._network)
+                else:
+                    # A second copy finished in the same event batch.
+                    sched.mark_duplicate(block, label)
+                    wasted += got
+                    n_duplicates += 1
+
+        def health_check() -> None:
+            for lane in lanes:
+                if not lane.alive:
+                    continue
+                marker = lane.progress(self.now)
+                stalled = bool(lane.inflight) and marker <= lane.last_progress
+                lane.last_progress = marker
+                if stalled:
+                    kill_lane(lane)
+
+        refill()
+        next_check = requested_at + cfg.grace_period
+        while not buf.complete:
+            if not any(lane.alive for lane in lanes):
+                aborted = True
+                break
+            if self.now >= deadline_at:
+                aborted = True
+                break
+            wake_at = min(next_check, deadline_at)
+            wake = sim.schedule_at(wake_at, _noop, name="stripe-check")
+            frozen = False
+            try:
+                sim.run_until_true(
+                    lambda: bool(completed) or sim.now >= wake_at
+                )
+            except TransferError:
+                # The engine proved no active flow can ever progress again.
+                frozen = True
+            finally:
+                sim.cancel(wake)
+            drain()
+            if buf.complete:
+                break
+            if frozen:
+                for lane in lanes:
+                    if lane.alive and lane.inflight:
+                        kill_lane(lane)
+            elif self.now >= next_check:
+                health_check()
+                next_check = self.now + cfg.check_interval
+            refill()
+
+        if aborted:
+            for lane in lanes:
+                if lane.alive and lane.inflight:
+                    for block in sorted(lane.inflight):
+                        got, transfer = retire(lane, block)
+                        wasted += got
+                        if not transfer.done:
+                            transfer.abort(self._network)
+                        sched.release(block, lane.label)
+            events.append(RecoveryEvent(
+                time=self.now,
+                kind="abort",
+                path="",
+                bytes_received=float(buf.committed_bytes),
+            ))
+
+        failed = tuple(lane.label for lane in lanes if not lane.alive)
+        if aborted:
+            outcome = SessionOutcome.ABORTED
+        elif failed:
+            outcome = SessionOutcome.DEGRADED
+        else:
+            outcome = SessionOutcome.COMPLETED
+        digest = "" if aborted else buf.verify()
+
+        result = StripeResult(
+            client=client,
+            server=server,
+            resource=resource,
+            size=size,
+            paths=tuple(lane.label for lane in lanes),
+            requested_at=requested_at,
+            completed_at=self.now,
+            outcome=outcome,
+            recovery_events=tuple(events),
+            bytes_received=float(buf.committed_bytes) if aborted else None,
+            block_bytes=float(cfg.block_bytes),
+            n_blocks=sched.n_blocks,
+            bytes_by_path=tuple(
+                (lane.label, lane.payload) for lane in lanes
+            ),
+            wasted_bytes=wasted,
+            n_reissues=n_reissues,
+            n_duplicate_blocks=n_duplicates,
+            failed_paths=failed,
+            digest=digest,
+        )
+        return self._checked(result)
+
+    # ------------------------------------------------------------------ #
+    def _checked(self, result: StripeResult) -> StripeResult:
+        """Sanitizer post-conditions + obs emission; every stripe exits here.
+
+        :class:`StripeResult` is shaped like a session result on purpose,
+        so the runtime sanitizer's session post-conditions (QA-R005) apply
+        to striped sessions unchanged.
+        """
+        sanitizer = self._network.sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.check_session_result(result)
+        obs = self._network.sim.observer
+        if obs is not None:
+            obs.span(
+                "session",
+                f"{result.client}->{result.server}",
+                result.requested_at,
+                result.completed_at,
+                outcome=result.outcome.value,
+                stripe_k=result.k,
+                bytes=result.delivered,
+                wasted=result.wasted_bytes,
+            )
+            obs.count("session.outcome." + result.outcome.value)
+            obs.count("stripe.sessions")
+            if result.wasted_bytes > 0.0:
+                obs.count("stripe.wasted_bytes", result.wasted_bytes)
+            for ev in result.recovery_events:
+                obs.event(
+                    "recovery",
+                    ev.kind,
+                    ev.time,
+                    path=ev.path,
+                    bytes=ev.bytes_received,
+                    detail=ev.detail,
+                )
+                obs.count("recovery." + ev.kind)
+        return result
+
+
+def _noop() -> None:
+    return None

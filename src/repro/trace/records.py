@@ -20,7 +20,7 @@ from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
 from repro.core.resilience import RecoveryEvent
 
-__all__ = ["TransferRecord", "FailureRecord"]
+__all__ = ["TransferRecord", "FailureRecord", "StripeRecord"]
 
 #: record_type tag -> record class, for :meth:`TransferRecord.from_dict`.
 _RECORD_TYPES: Dict[str, Type["TransferRecord"]] = {}
@@ -270,5 +270,152 @@ class FailureRecord(TransferRecord):
         return cls(**d)
 
 
+@dataclass(frozen=True)
+class StripeRecord(TransferRecord):
+    """One paired measurement from the mHTTP striping study.
+
+    Each row compares one mechanism run (probe-race *select-one* or
+    *stripe-k*) against the direct control on the same - possibly
+    failure-injected - scenario.  As with :class:`FailureRecord`, zero
+    throughputs and durations are legal: an aborted session delivered
+    nothing and the analysis wants to see that.
+
+    Attributes
+    ----------
+    mechanism:
+        ``"select"`` (probe race + single winner, the paper's protocol
+        with PR 4 resilience) or ``"stripe"`` (mHTTP block striping).
+    stripe_k:
+        Paths the mechanism used, direct included (select-one probes the
+        same k paths the stripe fetches over).
+    block_bytes / n_blocks:
+        Stripe geometry (0 for select rows).
+    wasted_bytes / n_reissues / n_duplicate_blocks:
+        Striping overhead: discarded duplicate/partial payload bytes and
+        the straggler re-issues that caused them (0 for select rows).
+    n_path_failures:
+        Stripe paths declared dead mid-session (select rows count their
+        failovers here instead, making the column comparable).
+    failure_mode:
+        Injection for this unit: ``"none"`` or ``"node"`` (primary-relay
+        crash timed to hit the transfer - the PR 4 failure model).
+    outcome / direct_outcome:
+        :class:`~repro.core.resilience.SessionOutcome` strings of the
+        mechanism and control sessions.
+    bytes_received:
+        Payload the mechanism session delivered.
+    direct_duration / selected_duration:
+        Wall durations of the control and mechanism sessions, seconds.
+    outage_overlap:
+        True when the mechanism session overlapped an injected outage.
+    bytes_by_path:
+        Committed payload per path label (``("direct", ...)`` first for
+        stripe rows; empty for select rows) - the load-balance picture.
+    recovery_events:
+        The mechanism session's recovery timeline (``path_dead`` /
+        ``reissue`` for stripes; failover events for select rows).
+    """
+
+    RECORD_TYPE: ClassVar[str] = "stripe"
+
+    mechanism: str = "stripe"
+    stripe_k: int = 0
+    block_bytes: float = 0.0
+    n_blocks: int = 0
+    wasted_bytes: float = 0.0
+    n_reissues: int = 0
+    n_duplicate_blocks: int = 0
+    n_path_failures: int = 0
+    failure_mode: str = "none"
+    outcome: str = "completed"
+    direct_outcome: str = "completed"
+    bytes_received: float = 0.0
+    direct_duration: float = 0.0
+    selected_duration: float = 0.0
+    outage_overlap: bool = False
+    bytes_by_path: Tuple[Tuple[str, float], ...] = ()
+    recovery_events: Tuple[RecoveryEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Loosened like FailureRecord: aborted rows carry legitimate zeros.
+        if self.mechanism not in ("select", "stripe"):
+            raise ValueError(
+                f"mechanism must be 'select' or 'stripe', got {self.mechanism!r}"
+            )
+        if self.direct_throughput < 0.0:
+            raise ValueError("direct_throughput must be >= 0")
+        if self.selected_throughput < 0.0:
+            raise ValueError("selected_throughput must be >= 0")
+        if self.wasted_bytes < 0.0:
+            raise ValueError("wasted_bytes must be >= 0")
+        if self.selected_via is not None and self.selected_via not in self.offered:
+            raise ValueError(
+                f"selected relay {self.selected_via!r} not in offered set {self.offered}"
+            )
+
+    @property
+    def aborted(self) -> bool:
+        """True when the mechanism session gave up."""
+        return self.outcome == "aborted"
+
+    @property
+    def degraded(self) -> bool:
+        """True when a striped session lost a path but still delivered."""
+        return self.outcome == "degraded"
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Payload delivered relative to the object size (1.0 when whole)."""
+        if self.file_bytes <= 0.0:
+            return 0.0
+        return min(self.bytes_received, self.file_bytes) / self.file_bytes
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Duplicate/discarded bytes relative to the object size."""
+        if self.file_bytes <= 0.0:
+            return 0.0
+        return self.wasted_bytes / self.file_bytes
+
+    @property
+    def speedup(self) -> float:
+        """Control duration / mechanism duration (>1 = mechanism faster).
+
+        NaN when either duration is non-positive - never raises.
+        """
+        if self.selected_duration <= 0.0 or self.direct_duration <= 0.0:
+            return math.nan
+        return self.direct_duration / self.selected_duration
+
+    @property
+    def sort_key(self) -> Tuple:
+        """Extends the base total order with the mechanism coordinates.
+
+        A select-k and a stripe-k row from the same repetition slot share
+        every base coordinate (client, site, set size, repetition, slot,
+        offered), so without this the shard merge would not be a total
+        order and ``--jobs`` byte-identity would depend on shard layout.
+        """
+        return (*super().sort_key, self.mechanism, self.stripe_k)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = super().to_dict()
+        d["bytes_by_path"] = [[label, got] for label, got in self.bytes_by_path]
+        d["recovery_events"] = [e.to_dict() for e in self.recovery_events]
+        return d
+
+    @classmethod
+    def _decode(cls, d: Dict[str, Any]) -> "StripeRecord":
+        d["offered"] = tuple(d["offered"])
+        d["bytes_by_path"] = tuple(
+            (str(label), float(got)) for label, got in d.get("bytes_by_path", ())
+        )
+        d["recovery_events"] = tuple(
+            RecoveryEvent.from_dict(e) for e in d.get("recovery_events", ())
+        )
+        return cls(**d)
+
+
 _RECORD_TYPES[TransferRecord.RECORD_TYPE] = TransferRecord
 _RECORD_TYPES[FailureRecord.RECORD_TYPE] = FailureRecord
+_RECORD_TYPES[StripeRecord.RECORD_TYPE] = StripeRecord

@@ -63,6 +63,7 @@ class TestBenchRegistry:
             "alloc_disjoint",
             "alloc_shared",
             "tick_breakpoint",
+            "stripe_session",
             "campaign_mini",
         }
 

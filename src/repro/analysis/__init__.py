@@ -42,6 +42,11 @@ from repro.analysis.mhttp import (
 )
 from repro.analysis.penalties import PenaltyRow, penalty_table
 from repro.analysis.prediction import PredictionQuality, prediction_quality
+from repro.analysis.scale import (
+    ScaleTotals,
+    render_scale,
+    scale_totals,
+)
 from repro.analysis.random_set import (
     RandomSetCurve,
     random_set_curves,
@@ -91,6 +96,9 @@ __all__ = [
     "mhttp_cells",
     "stripe_p99_advantage",
     "render_mhttp",
+    "ScaleTotals",
+    "scale_totals",
+    "render_scale",
     "improvements_when_indirect",
     "all_improvements",
     "indirect_utilization",

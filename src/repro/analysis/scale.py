@@ -1,0 +1,118 @@
+"""Scale study analysis: population-level aggregates per wave.
+
+Turns the :class:`~repro.trace.records.ScaleRecord` rows of a
+``repro scale`` campaign into the study's headline numbers:
+
+* the **indirect share** - what fraction of a 100k-client population a
+  relay path won (the paper's indirect-routing opportunity, measured at
+  population scale instead of client-pair scale);
+* per-wave **throughput and latency percentiles**, exact by construction
+  (the wave computes them from the full per-client arrays);
+* the **cohort gap** - mean per-client throughput of relay winners vs.
+  direct winners.
+
+All statistics are defined for empty inputs (NaN or 0, never a division
+error), matching the repo's other analysis modules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.trace.records import ScaleRecord
+from repro.util.units import mb
+
+__all__ = ["ScaleTotals", "scale_totals", "render_scale"]
+
+
+@dataclass(frozen=True)
+class ScaleTotals:
+    """Whole-campaign aggregates over every wave.
+
+    Attributes
+    ----------
+    n_waves / n_clients / n_completed:
+        Wave count and client totals across the campaign.
+    indirect_fraction:
+        Relay-winner share of the whole population (NaN when empty).
+    mean_throughput:
+        Client-weighted mean per-client throughput, bytes/second.
+    worst_latency_p99 / worst_latency_max:
+        The slowest wave's tail (NaN when empty).
+    """
+
+    n_waves: int
+    n_clients: int
+    n_completed: int
+    indirect_fraction: float
+    mean_throughput: float
+    worst_latency_p99: float
+    worst_latency_max: float
+
+
+def scale_totals(records: Sequence[ScaleRecord]) -> ScaleTotals:
+    """Campaign totals over every wave (sorted input not required)."""
+    n_clients = sum(r.n_clients for r in records)
+    n_indirect = sum(r.n_indirect for r in records)
+    weighted = sum(r.mean_throughput * r.n_clients for r in records)
+    return ScaleTotals(
+        n_waves=len(records),
+        n_clients=n_clients,
+        n_completed=sum(r.n_completed for r in records),
+        indirect_fraction=(n_indirect / n_clients) if n_clients else math.nan,
+        mean_throughput=(weighted / n_clients) if n_clients else math.nan,
+        worst_latency_p99=max(
+            (r.latency_p99 for r in records), default=math.nan
+        ),
+        worst_latency_max=max(
+            (r.latency_max for r in records), default=math.nan
+        ),
+    )
+
+
+def _fmt(x: float, *, pct: bool = False) -> str:
+    if not math.isfinite(x):
+        return "n/a"
+    return f"{100.0 * x:.1f}%" if pct else f"{x:.2f}"
+
+
+def render_scale(records: Sequence[ScaleRecord]) -> str:
+    """Human-readable study report (the ``repro scale`` output)."""
+    rows = sorted(records, key=lambda r: r.sort_key)
+    lines: List[str] = []
+    lines.append("scale study: population waves racing direct vs relay")
+    lines.append("=" * 78)
+    lines.append(f"waves: {len(rows)}")
+    lines.append("")
+    lines.append(
+        f"{'wave':<8} {'clients':>8} {'indir':>6} "
+        f"{'thr p50':>8} {'thr p99':>8} "
+        f"{'lat p50':>8} {'lat p99':>8} {'lat max':>8} {'span s':>8}"
+    )
+    lines.append("-" * 78)
+    for r in rows:
+        lines.append(
+            f"{r.client:<8} {r.n_clients:>8} "
+            f"{_fmt(r.indirect_fraction, pct=True):>6} "
+            f"{_fmt(r.throughput_p50 / mb(1)):>8} "
+            f"{_fmt(r.throughput_p99 / mb(1)):>8} "
+            f"{_fmt(r.latency_p50):>8} {_fmt(r.latency_p99):>8} "
+            f"{_fmt(r.latency_max):>8} {_fmt(r.makespan):>8}"
+        )
+    totals = scale_totals(rows)
+    lines.append("")
+    lines.append(
+        f"population: {totals.n_completed}/{totals.n_clients} clients "
+        f"completed across {totals.n_waves} wave(s); "
+        f"indirect share {_fmt(totals.indirect_fraction, pct=True)}"
+    )
+    lines.append(
+        f"mean per-client throughput: "
+        f"{_fmt(totals.mean_throughput / mb(1))} MB/s; "
+        f"worst wave tail: p99 {_fmt(totals.worst_latency_p99)} s, "
+        f"max {_fmt(totals.worst_latency_max)} s"
+    )
+    lines.append("(throughput columns in MB/s, latencies in seconds)")
+    return "\n".join(lines)

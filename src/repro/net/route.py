@@ -41,6 +41,13 @@ class Route:
             raise ValueError(f"route repeats a link: {names}")
         object.__setattr__(self, "links", tuple(links))
         object.__setattr__(self, "via", via)
+        # Links are immutable, so the delay sum is fixed at construction.
+        # Cached here because route RTT sits on the engine's per-flow hot
+        # path (activation delays, ramp construction) and summing per call
+        # is measurable at population scale.
+        object.__setattr__(
+            self, "_one_way", float(sum(l.delay for l in self.links))
+        )
 
     @property
     def is_indirect(self) -> bool:
@@ -60,12 +67,12 @@ class Route:
     @property
     def one_way_delay(self) -> float:
         """Sum of link propagation delays, in seconds."""
-        return float(sum(l.delay for l in self.links))
+        return self._one_way
 
     @property
     def rtt(self) -> float:
         """Round-trip time in seconds (2x one-way delay)."""
-        return 2.0 * self.one_way_delay
+        return 2.0 * self._one_way
 
     @property
     def leg_rtts(self) -> Tuple[float, ...]:

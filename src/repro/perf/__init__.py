@@ -20,6 +20,7 @@ from repro.perf.report import (
     format_comparison,
     format_report,
     load_report,
+    seed_missing_baselines,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "format_comparison",
     "format_report",
     "load_report",
+    "seed_missing_baselines",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "compare_reports",
     "format_report",
     "format_comparison",
+    "seed_missing_baselines",
 ]
 
 SCHEMA = "repro-perf/1"
@@ -143,6 +144,43 @@ def compare_reports(
     return out
 
 
+def seed_missing_baselines(
+    report: BenchReport, prior: Optional[BenchReport] = None
+) -> None:
+    """Give baseline-less benches a recorded yardstick, in place.
+
+    Benches without a toggleable seed path (e.g. ``event_queue``) measure
+    nothing to divide by, so their ``baseline``/``speedup`` would stay null
+    forever.  Instead, the first run records the bench's own optimised
+    number as its baseline (tagged ``"baseline_source": "first-run"``);
+    later runs inherit the stored number (``"recorded"``), so the speedup
+    column tracks drift against the first recording.
+
+    ``prior`` is the previously saved report (usually the ``--out`` file
+    about to be overwritten).  Pass ``None`` — and get first-run seeding —
+    when there is no prior report or its mode (quick vs full) differs,
+    since quick and full workloads are not comparable.
+    """
+    for name, result in report.benches.items():
+        if result.get("baseline") is not None:
+            continue
+        opt = _as_positive_float(result.get("optimised"))
+        inherited = None
+        if prior is not None:
+            prev = prior.benches.get(name)
+            if prev is not None:
+                inherited = _as_positive_float(prev.get("baseline"))
+        if inherited is not None:
+            result["baseline"] = inherited
+            result["baseline_source"] = "recorded"
+        elif opt is not None:
+            result["baseline"] = opt
+            result["baseline_source"] = "first-run"
+        else:
+            continue
+        result["speedup"] = result["baseline"] / opt if opt else None
+
+
 def _as_positive_float(value: Any) -> Optional[float]:
     if isinstance(value, (int, float)) and float(value) > 0.0:
         return float(value)
@@ -151,7 +189,7 @@ def _as_positive_float(value: Any) -> Optional[float]:
 
 def _fmt_value(value: Optional[float], unit: str) -> str:
     if value is None:
-        return "-"
+        return "n/a"
     if unit == "s":
         return f"{value:.3f} s"
     return f"{value:,.0f} {unit}"
@@ -179,6 +217,15 @@ def format_report(report: BenchReport) -> str:
         tps = _as_positive_float(result.get("transfers_per_sec"))
         if tps is not None:
             lines.append(f"  {'':<18} {tps:,.1f} transfers/sec (optimised)")
+        src = result.get("baseline_source")
+        if src == "first-run":
+            lines.append(
+                f"  {'':<18} baseline recorded this run (no seed-path toggle)"
+            )
+        elif src == "recorded":
+            lines.append(
+                f"  {'':<18} baseline inherited from first recording"
+            )
     return "\n".join(lines)
 
 

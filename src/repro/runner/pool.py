@@ -133,6 +133,10 @@ def run_unit(
             from repro.workloads.mhttp import run_mhttp_unit
 
             return run_mhttp_unit(scenario, config, unit, extra)
+        if unit.runner == "scale":
+            from repro.workloads.scale import run_scale_unit
+
+            return run_scale_unit(scenario, config, unit, extra)
         raise ValueError(f"unknown unit runner {unit.runner!r}")
     if unit.variant is not None:
         from repro.workloads.failures import run_failure_unit

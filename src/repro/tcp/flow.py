@@ -67,9 +67,10 @@ class FluidFlow:
         "requested_at",
         "activated_at",
         "completed_at",
-        "delivered",
-        "rate",
+        "_delivered",
+        "_rate",
         "_last_update",
+        "_sync",
     )
 
     def __init__(
@@ -93,9 +94,10 @@ class FluidFlow:
         self.requested_at = float(requested_at)
         self.activated_at: Optional[float] = None
         self.completed_at: Optional[float] = None
-        self.delivered = 0.0
-        self.rate = 0.0
+        self._delivered = 0.0
+        self._rate = 0.0
         self._last_update = float(requested_at)
+        self._sync: Optional[Callable[["FluidFlow"], None]] = None
 
     # ------------------------------------------------------------------ #
     # engine-facing interface
@@ -110,19 +112,23 @@ class FluidFlow:
     def _advance(self, now: float) -> None:
         """Accrue bytes delivered at the current rate since the last update."""
         if self.state is FlowState.ACTIVE and now > self._last_update:
-            self.delivered = min(self.size, self.delivered + self.rate * (now - self._last_update))
+            self._delivered = min(
+                self.size, self._delivered + self._rate * (now - self._last_update)
+            )
         self._last_update = now
 
     def _complete(self, now: float) -> None:
         self.state = FlowState.COMPLETED
         self.completed_at = now
-        self.delivered = self.size
-        self.rate = 0.0
+        self._delivered = self.size
+        self._rate = 0.0
+        self._sync = None
 
     def _abort(self, now: float) -> None:
         self.state = FlowState.ABORTED
         self.completed_at = now
-        self.rate = 0.0
+        self._rate = 0.0
+        self._sync = None
 
     def cap_at(self, now: float) -> float:
         """Current private rate ceiling from the slow-start ramp."""
@@ -143,6 +149,32 @@ class FluidFlow:
     # observers
     # ------------------------------------------------------------------ #
     @property
+    def delivered(self) -> float:
+        """Bytes delivered as of the engine's last tick.
+
+        When a batched engine owns this flow, the authoritative value lives in
+        its arrays; a sync hook materialises it here on first read.
+        """
+        if self._sync is not None:
+            self._sync(self)
+        return self._delivered
+
+    @delivered.setter
+    def delivered(self, value: float) -> None:
+        self._delivered = value
+
+    @property
+    def rate(self) -> float:
+        """Current allocated rate (bytes/second)."""
+        if self._sync is not None:
+            self._sync(self)
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        self._rate = value
+
+    @property
     def remaining(self) -> float:
         """Bytes still to deliver."""
         return max(0.0, self.size - self.delivered)
@@ -152,9 +184,10 @@ class FluidFlow:
         constant-rate segment (the engine only materialises ``delivered`` at
         tick events; observers like the adaptive watchdog sample between
         them)."""
+        delivered = self.delivered
         if self.state is FlowState.ACTIVE and now > self._last_update:
-            return min(self.size, self.delivered + self.rate * (now - self._last_update))
-        return self.delivered
+            return min(self.size, delivered + self._rate * (now - self._last_update))
+        return delivered
 
     @property
     def done(self) -> bool:

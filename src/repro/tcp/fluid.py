@@ -49,7 +49,7 @@ from repro.tcp.flow import FlowState, FluidFlow
 from repro.tcp.maxmin import maxmin_allocate
 from repro.tcp.model import SlowStartRamp
 
-__all__ = ["FluidNetwork", "baseline_engine_from_env"]
+__all__ = ["FluidNetwork", "baseline_engine_from_env", "vector_engine_from_env"]
 
 #: Bytes of slack when deciding a flow has finished (float-precision guard).
 _COMPLETION_SLACK = 1e-3
@@ -57,12 +57,27 @@ _COMPLETION_SLACK = 1e-3
 _TIME_EPS = 1e-12
 
 _BASELINE_ENV_VAR = "REPRO_ENGINE_BASELINE"
+_VECTOR_ENV_VAR = "REPRO_ENGINE_VECTOR"
 _TRUTHY = {"1", "true", "yes", "on"}
 
 
 def baseline_engine_from_env() -> bool:
     """True when ``REPRO_ENGINE_BASELINE`` requests the seed engine path."""
     return os.environ.get(_BASELINE_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def vector_engine_from_env(default: bool = False) -> bool:
+    """Resolve ``REPRO_ENGINE_VECTOR``: unset -> ``default``, else truthiness.
+
+    ``REPRO_ENGINE_VECTOR=1`` turns the struct-of-arrays engine on globally;
+    ``REPRO_ENGINE_VECTOR=0`` forces the classic per-object path even for
+    callers (like the ``repro scale`` study) whose default is the vector
+    engine.
+    """
+    raw = os.environ.get(_VECTOR_ENV_VAR)
+    if raw is None or not raw.strip():
+        return default
+    return raw.strip().lower() in _TRUTHY
 
 
 class _AllocState:
@@ -126,6 +141,14 @@ class FluidNetwork:
         (default).  ``False`` restores the seed engine's rebuild-every-tick
         path; ``None`` reads ``REPRO_ENGINE_BASELINE`` from the environment.
         Both modes are byte-identical in output.
+    vector:
+        Delegate ticks to the struct-of-arrays population engine
+        (:class:`repro.vec.engine.VectorCore`).  ``None`` reads
+        ``REPRO_ENGINE_VECTOR`` from the environment (default off).  The
+        vector engine requires the incremental path and is disabled under
+        the runtime sanitizer (whose per-flow invariant hooks assume the
+        per-object tick); artefacts are byte-identical to the classic
+        engine at populations the pinning suite covers (see DESIGN.md §12).
     """
 
     def __init__(
@@ -134,14 +157,32 @@ class FluidNetwork:
         *,
         default_request_latency: float = 1.0,
         incremental: Optional[bool] = None,
+        vector: Optional[bool] = None,
+        coalesce_activations: bool = False,
     ):
         self._sim = sim
         self._active: Dict[int, FluidFlow] = {}
         self._tick_event: Optional[Event] = None
         self._default_request_latency = float(default_request_latency)
+        #: Opt-in: flows sharing an activation instant share one simulator
+        #: event (population-scale workloads create thousands of flows per
+        #: instant; one heap entry each is measurable).  Off by default -
+        #: activation *order* is unchanged either way (creation order within
+        #: an instant), but coalescing does reorder activations relative to
+        #: unrelated events scheduled at the same instant, which classic
+        #: session studies may observe.
+        self._coalesce = bool(coalesce_activations)
+        self._pending_activations: Dict[float, List[FluidFlow]] = {}
         if incremental is None:
             incremental = not baseline_engine_from_env()
         self._incremental = bool(incremental)
+        if vector is None:
+            vector = vector_engine_from_env()
+        self._vec = None
+        if vector and self._incremental and sim.sanitizer is None:
+            from repro.vec.engine import VectorCore  # deferred: import cycle
+
+            self._vec = VectorCore(self)
         #: Cached allocation structure; None whenever the active set changed.
         self._alloc_state: Optional[_AllocState] = None
         #: Persistent per-link trace cursors (survive alloc-state rebuilds,
@@ -168,6 +209,11 @@ class FluidNetwork:
     def incremental(self) -> bool:
         """True when the incremental hot path is enabled (default)."""
         return self._incremental
+
+    @property
+    def vector(self) -> bool:
+        """True when ticks run on the struct-of-arrays population engine."""
+        return self._vec is not None
 
     @property
     def active_flows(self) -> List[FluidFlow]:
@@ -205,9 +251,21 @@ class FluidNetwork:
             activation_delay = route.rtt * self._default_request_latency
         if activation_delay < 0.0:
             raise ValueError(f"activation_delay must be >= 0, got {activation_delay}")
-        self._sim.schedule_after(
-            activation_delay, lambda: self._activate(flow), name=f"activate:{flow.name}"
-        )
+        if self._coalesce:
+            at = self._sim.now + activation_delay
+            batch = self._pending_activations.get(at)
+            if batch is None:
+                self._pending_activations[at] = batch = []
+                self._sim.schedule_at(
+                    at, lambda: self._activate_batch(at), name="activate-batch"
+                )
+            batch.append(flow)
+        else:
+            self._sim.schedule_after(
+                activation_delay,
+                lambda: self._activate(flow),
+                name=f"activate:{flow.name}",
+            )
         return flow
 
     def abort_flow(self, flow: FluidFlow) -> None:
@@ -215,6 +273,8 @@ class FluidNetwork:
         if flow.done:
             return
         if flow.state is FlowState.ACTIVE:
+            if self._vec is not None:
+                self._vec.detach_flow(flow)  # materialises the row first
             flow._advance(self._sim.now)
             self._active.pop(flow.id, None)
             self._invalidate_alloc("abort")
@@ -231,8 +291,20 @@ class FluidNetwork:
             return  # aborted while pending
         flow._activate(self._sim.now)
         self._active[flow.id] = flow
+        if self._vec is not None:
+            self._vec.add_flow(flow)
         self._invalidate_alloc("activate")
         self._request_tick()
+
+    def _activate_batch(self, at: float) -> None:
+        """Activate every flow whose activation instant is ``at``.
+
+        Flows activate in creation order - exactly the order the per-flow
+        events would have fired in (the heap breaks time ties by sequence
+        number).
+        """
+        for flow in self._pending_activations.pop(at):
+            self._activate(flow)
 
     def _invalidate_alloc(self, reason: str) -> None:
         """Drop the cached allocation structure, counting the cause."""
@@ -295,6 +367,9 @@ class FluidNetwork:
             )
 
     def _tick(self) -> None:
+        if self._vec is not None:
+            self._vec.tick()
+            return
         now = self._sim.now
         self._tick_event = None
         sanitizer = self._sim.sanitizer
@@ -369,7 +444,7 @@ class FluidNetwork:
                         if v < bottleneck:
                             bottleneck = v
                     cap = flow.cap_at(now)
-                    flow.rate = bottleneck if bottleneck < cap else cap
+                    flow._rate = bottleneck if bottleneck < cap else cap
                 if obs is not None:
                     obs.count("alloc.solve_disjoint_scalar")
             else:
@@ -388,11 +463,11 @@ class FluidNetwork:
                         now, capacities, state.incidence, caps, rates, state.link_names
                     )
                 for flow, rate in zip(flows, rates):
-                    flow.rate = float(rate)
+                    flow._rate = float(rate)
             next_time = float("inf")
             for flow in flows:
-                if flow.rate > 0.0:
-                    next_time = min(next_time, now + flow.remaining / flow.rate)
+                if flow._rate > 0.0:
+                    next_time = min(next_time, now + flow.remaining / flow._rate)
                 next_time = min(next_time, flow.next_cap_increase(now))
             for cursor in cursors:
                 next_time = min(next_time, cursor.next_change_after(now))
@@ -430,11 +505,11 @@ class FluidNetwork:
                     [link.name for link in links],
                 )
             for flow, rate in zip(flows, rates):
-                flow.rate = float(rate)
+                flow._rate = float(rate)
             next_time = float("inf")
             for flow in flows:
-                if flow.rate > 0.0:
-                    next_time = min(next_time, now + flow.remaining / flow.rate)
+                if flow._rate > 0.0:
+                    next_time = min(next_time, now + flow.remaining / flow._rate)
                 next_time = min(next_time, flow.next_cap_increase(now))
             for link in links:
                 next_time = min(next_time, link.trace.next_change_after(now))

@@ -120,17 +120,27 @@ def maxmin_allocate(
         if validate and np.any(caps_arr < 0.0):
             raise ValueError("caps must be non-negative")
 
+    af = None
     if fast and n_links > 0:
         # Disjoint fast path: when no link carries two flows there is no
         # sharing to arbitrate — every flow independently receives
         # min(bottleneck, cap), exactly the loop's fixed point.  This is the
         # dominant campaign shape (control + selector probes on disjoint
         # relay paths) and costs one O(L*F) pass instead of up to F.
-        if int(a.sum(axis=1).max()) <= 1:
+        # Pigeonhole pre-reject: more nonzeros than links cannot be
+        # disjoint, and the flat count is several times cheaper than the
+        # per-link reduction, so shared problems pay almost nothing here.
+        if np.count_nonzero(a) <= n_links and int(a.sum(axis=1).max()) <= 1:
             bottleneck = np.where(a, c[:, None], np.inf).min(axis=0)
             if observer is not None:
                 observer.count("maxmin.disjoint_fast")
             return np.minimum(bottleneck, caps_arr)
+        # Shared problem: the loop below runs several matvecs per round
+        # over the incidence matrix, and each converts bool->float64 anew.
+        # Converting once roughly halves them.  Every value involved is a
+        # small integer, exact in float64 under any summation order, so
+        # the allocation stays byte-identical to the fast=False reference.
+        af = a.astype(np.float64)
 
     rates = np.zeros(n_flows)
     frozen = np.zeros(n_flows, dtype=bool)
@@ -143,34 +153,47 @@ def maxmin_allocate(
     if observer is not None:
         observer.count("maxmin.progressive")
 
+    shares = np.empty(n_links) if af is not None else None
     while not frozen.all():
         if observer is not None:
             observer.count("maxmin.progressive_rounds")
         active = ~frozen
-        counts = a @ active.astype(np.float64)  # unfrozen flows per link
+        actf = active.astype(np.float64)
+        counts = (a if af is None else af) @ actf  # unfrozen flows per link
         used = counts > 0.0
         if not used.any():
             break
         # Equal-share water level each congested link could still grant.
-        shares = np.full(n_links, np.inf)
+        if af is None:
+            shares = np.full(n_links, np.inf)
+        else:
+            shares.fill(np.inf)
         np.divide(remaining, counts, out=shares, where=used)
         link_level = float(shares[used].min())
         cap_level = float(caps_arr[active].min())
         level = min(link_level, cap_level)
 
         if cap_level <= link_level * (1.0 + _EPS):
-            # Some flows hit their private ceiling first: freeze them at cap.
+            # Some flows hit their private ceiling first: freeze them at
+            # cap.  The decrement sums real-valued caps, where summation
+            # order does matter — both modes keep the column-subset matvec.
             hit = active & (caps_arr <= level * (1.0 + _EPS))
             rates[hit] = caps_arr[hit]
             remaining -= a[:, hit] @ caps_arr[hit]
-            frozen[hit] = True
         else:
             # Some link saturates: freeze all unfrozen flows crossing it.
             saturated = used & (shares <= level * (1.0 + _EPS))
-            hit = active & (a[saturated, :].any(axis=0))
-            rates[hit] = level
-            remaining -= (a[:, hit].sum(axis=1)) * level
-            frozen[hit] = True
+            if af is None:
+                hit = active & (a[saturated, :].any(axis=0))
+                rates[hit] = level
+                remaining -= (a[:, hit].sum(axis=1)) * level
+            else:
+                # Integer-valued matvecs replace the boolean fancy
+                # indexing (identical exact values, about half the cost).
+                hit = active & ((saturated.astype(np.float64) @ af) > 0.0)
+                rates[hit] = level
+                remaining -= (af @ hit.astype(np.float64)) * level
+        frozen[hit] = True
         np.clip(remaining, 0.0, None, out=remaining)
 
     return rates

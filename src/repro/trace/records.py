@@ -20,7 +20,7 @@ from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
 from repro.core.resilience import RecoveryEvent
 
-__all__ = ["TransferRecord", "FailureRecord", "StripeRecord"]
+__all__ = ["TransferRecord", "FailureRecord", "StripeRecord", "ScaleRecord"]
 
 #: record_type tag -> record class, for :meth:`TransferRecord.from_dict`.
 _RECORD_TYPES: Dict[str, Type["TransferRecord"]] = {}
@@ -416,6 +416,95 @@ class StripeRecord(TransferRecord):
         return cls(**d)
 
 
+@dataclass(frozen=True)
+class ScaleRecord(TransferRecord):
+    """One wave of the population-scale study: aggregate, not a pair.
+
+    A scale wave simulates its whole client population concurrently on one
+    shared topology, so the record carries population aggregates instead of
+    a single paired measurement.  The base columns are reinterpreted:
+    ``client`` is the wave label, ``direct_throughput`` /
+    ``selected_throughput`` are the mean per-client throughputs of the
+    direct-winner and relay-winner cohorts (legitimately 0 when a cohort is
+    empty), ``end_to_end_throughput`` is aggregate bytes over the wave
+    makespan, and ``probe_overhead`` is the mean per-client probe-race
+    duration.
+
+    Percentiles are exact (computed from the full per-client result arrays
+    with ``numpy.quantile``), so records are byte-identical for any worker
+    count; wall-clock rates live in obs, never here.
+
+    Attributes
+    ----------
+    n_clients / n_completed:
+        Population size and how many clients finished their transfer
+        (a wave raises if these ever differ, so they agree on disk).
+    n_direct / n_indirect:
+        Probe-race outcomes: clients whose direct path won vs. clients a
+        relay path won.
+    makespan:
+        Simulation seconds from wave start to the last completion.
+    mean_throughput:
+        Mean per-client end-to-end throughput (bytes/second).
+    throughput_p10 / p50 / p90 / p99:
+        Per-client throughput percentiles (bytes/second).
+    latency_p50 / p90 / p99 / latency_max:
+        Per-client request-to-completion latency percentiles (seconds).
+    """
+
+    RECORD_TYPE: ClassVar[str] = "scale"
+
+    n_clients: int = 0
+    n_completed: int = 0
+    n_direct: int = 0
+    n_indirect: int = 0
+    makespan: float = 0.0
+    mean_throughput: float = 0.0
+    throughput_p10: float = 0.0
+    throughput_p50: float = 0.0
+    throughput_p90: float = 0.0
+    throughput_p99: float = 0.0
+    latency_p50: float = 0.0
+    latency_p90: float = 0.0
+    latency_p99: float = 0.0
+    latency_max: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Aggregates, not a pair: cohort means are legitimately zero when a
+        # cohort is empty, so only sanity-check signs and counts.
+        if self.direct_throughput < 0.0 or self.selected_throughput < 0.0:
+            raise ValueError("cohort throughputs must be >= 0")
+        if self.n_clients < 0 or self.n_completed < 0:
+            raise ValueError("population counts must be >= 0")
+        if self.n_direct + self.n_indirect > self.n_clients:
+            raise ValueError("cohort counts exceed the population")
+
+    @property
+    def indirect_fraction(self) -> float:
+        """Share of the population a relay path won (0 when empty)."""
+        if self.n_clients == 0:
+            return 0.0
+        return self.n_indirect / self.n_clients
+
+    @property
+    def sim_transfers_per_sec(self) -> float:
+        """Completed transfers per *simulated* second (0 for empty waves)."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.n_completed / self.makespan
+
+    @property
+    def sort_key(self) -> Tuple:
+        """Extends the base total order with the population size.
+
+        Wave labels are unique per plan, but two plans merged into one
+        store could reuse a label at different scales; the population
+        size disambiguates.
+        """
+        return (*super().sort_key, self.n_clients)
+
+
 _RECORD_TYPES[TransferRecord.RECORD_TYPE] = TransferRecord
 _RECORD_TYPES[FailureRecord.RECORD_TYPE] = FailureRecord
 _RECORD_TYPES[StripeRecord.RECORD_TYPE] = StripeRecord
+_RECORD_TYPES[ScaleRecord.RECORD_TYPE] = ScaleRecord

@@ -1,0 +1,107 @@
+"""Sparse progressive water-filling over a CSR flow->link incidence.
+
+This is the population-scale counterpart of the dense progressive-filling
+loop in :func:`repro.tcp.maxmin.maxmin_allocate`.  The math is identical
+round for round — the same water levels, the same freeze decisions — but
+every reduction runs over the CSR coordinate lists (``lids``/``frow``)
+instead of an L x F dense matrix, so one round costs O(nnz) independent of
+how many dead links the global link table carries.
+
+Reductions use :func:`numpy.bincount`, which sums sequentially in input
+order, so results are deterministic across runs.  They can differ from the
+dense loop's BLAS matvec partial sums in the last ulp, which is why the
+vector engine only uses this path *above* the population size where it
+cross-checks against the oracle (see ``repro.vec.engine._DENSE_MAX_FLOWS``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.core import Observer
+
+__all__ = ["waterfill_sparse"]
+
+#: Relative slack when comparing rates/capacities (== repro.tcp.maxmin._EPS).
+_EPS = 1e-9
+
+
+def waterfill_sparse(
+    link_cap: np.ndarray,
+    lids: np.ndarray,
+    frow: np.ndarray,
+    n_flows: int,
+    caps: np.ndarray,
+    *,
+    observer: Optional["Observer"] = None,
+) -> Tuple[np.ndarray, int]:
+    """Max-min fair rates for ``n_flows`` flows over a sparse incidence.
+
+    Parameters
+    ----------
+    link_cap:
+        Shape ``(M,)`` capacities for the *global* link table.  Links not
+        referenced by ``lids`` never influence the result.
+    lids, frow:
+        Coordinate lists: entry ``i`` says flow ``frow[i]`` traverses link
+        ``lids[i]``.  One entry per (flow, link) pair, no duplicates.
+    n_flows:
+        Number of flows (``frow`` values are in ``[0, n_flows)``).
+    caps:
+        Shape ``(n_flows,)`` per-flow rate ceilings (``inf`` = uncapped).
+
+    Returns
+    -------
+    (rates, rounds):
+        The allocation and the number of water-filling rounds executed.
+    """
+    rates = np.zeros(n_flows)
+    if n_flows == 0:
+        return rates, 0
+    m = int(link_cap.shape[0])
+    frozen = caps <= 0.0  # zero-cap flows freeze immediately at rate 0
+    remaining = link_cap.copy()
+    rounds = 0
+
+    while not frozen.all():
+        rounds += 1
+        active = ~frozen
+        amask = active[frow]
+        counts = np.bincount(lids[amask], minlength=m).astype(np.float64)
+        used = counts > 0.0
+        if not used.any():
+            break
+        # Equal-share water level each congested link could still grant.
+        shares = np.full(m, np.inf)
+        np.divide(remaining, counts, out=shares, where=used)
+        link_level = float(shares[used].min())
+        cap_level = float(caps[active].min())
+        level = min(link_level, cap_level)
+
+        if cap_level <= link_level * (1.0 + _EPS):
+            # Some flows hit their private ceiling first: freeze them at cap.
+            hit = active & (caps <= level * (1.0 + _EPS))
+            rates[hit] = caps[hit]
+            hm = hit[frow]
+            remaining -= np.bincount(
+                lids[hm], weights=caps[frow[hm]], minlength=m
+            )
+            frozen |= hit
+        else:
+            # Some link saturates: freeze all unfrozen flows crossing it.
+            saturated = used & (shares <= level * (1.0 + _EPS))
+            sm = saturated[lids] & amask
+            hit = np.zeros(n_flows, dtype=bool)
+            hit[frow[sm]] = True
+            hit &= active
+            rates[hit] = level
+            remaining -= np.bincount(lids[hit[frow]], minlength=m) * level
+            frozen |= hit
+        np.clip(remaining, 0.0, None, out=remaining)
+
+    if observer is not None:
+        observer.count("vec.solver_rounds", rounds)
+    return rates, rounds

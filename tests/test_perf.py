@@ -64,6 +64,8 @@ class TestBenchRegistry:
             "alloc_shared",
             "tick_breakpoint",
             "stripe_session",
+            "vec_epoch",
+            "scale_campaign",
             "campaign_mini",
         }
 

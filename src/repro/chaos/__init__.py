@@ -1,0 +1,43 @@
+"""repro.chaos: deterministic fault injection (DESIGN.md §13).
+
+Two layers share this package:
+
+* :mod:`repro.chaos.faults` - simulation-time faults.  Declarative
+  :class:`FaultWindow` plans (gray degradation, flapping, correlated
+  blackouts, partitions) compile into capacity-trace rewrites that both
+  transport engines consume unchanged.
+* :mod:`repro.chaos.runner` - process-level faults.  A
+  :class:`RunnerFaultPlan` kills pool workers at deterministic points to
+  prove the executor's crash-consistent resume.
+"""
+
+from repro.chaos.faults import (
+    FAULT_FAMILIES,
+    FAULT_INTENSITIES,
+    FaultIntensity,
+    FaultWindow,
+    apply_fault_windows,
+    blackout_spans,
+    compile_fault_plan,
+    degraded_seconds,
+    flapping_windows,
+    intensity_params,
+    plan_spans,
+)
+from repro.chaos.runner import RunnerFaultInjector, RunnerFaultPlan
+
+__all__ = [
+    "FAULT_FAMILIES",
+    "FAULT_INTENSITIES",
+    "FaultIntensity",
+    "FaultWindow",
+    "RunnerFaultInjector",
+    "RunnerFaultPlan",
+    "apply_fault_windows",
+    "blackout_spans",
+    "compile_fault_plan",
+    "degraded_seconds",
+    "flapping_windows",
+    "intensity_params",
+    "plan_spans",
+]

@@ -1,0 +1,88 @@
+"""Runner-level fault injection: kill pool workers at deterministic points.
+
+Simulation-time faults (``chaos.faults``) stress the *protocols*; this
+module stresses the *executor*.  A :class:`RunnerFaultPlan` names completed-
+unit counts at which the parent kills one live worker outright (SIGKILL -
+no cleanup, no checkpoint flush from the victim), exercising the pool's
+crash machinery: in-flight requeue, respawn, stale-result crediting and
+idempotent completion.  The merged artefact must stay byte-identical to an
+undisturbed run - units are pure functions of the plan, so worker murder
+is invisible in the output by construction, and the kill/resume fuzz test
+holds the executor to that.
+
+Victim choice among live workers is drawn from the plan's own seed, so a
+fuzz failure reproduces exactly.  The artefact never depends on which
+worker dies (or that any does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RunnerFaultPlan", "RunnerFaultInjector"]
+
+
+@dataclass(frozen=True)
+class RunnerFaultPlan:
+    """Declarative worker-kill schedule for one campaign execution.
+
+    Attributes
+    ----------
+    kill_after:
+        Completed-unit counts at which to kill one live worker; each entry
+        fires once, in sorted order.  ``(3, 7)`` kills a worker as the 3rd
+        and again as the 7th completion lands.
+    seed:
+        Seeds the victim draw among live workers.
+    """
+
+    kill_after: Tuple[int, ...]
+    seed: int = 20070326
+
+    def __post_init__(self) -> None:
+        if not self.kill_after:
+            raise ValueError("kill_after must name at least one kill point")
+        if any(int(k) < 1 for k in self.kill_after):
+            raise ValueError(
+                f"kill points are 1-based completion counts, got {self.kill_after}"
+            )
+
+    def injector(self) -> "RunnerFaultInjector":
+        """Fresh mutable per-execution state (plans are reusable)."""
+        return RunnerFaultInjector(self)
+
+
+class RunnerFaultInjector:
+    """Per-execution state of a :class:`RunnerFaultPlan`.
+
+    The pool asks :meth:`victim` after every completion; the injector
+    consumes its kill points in order and records what it did in
+    :attr:`kills` for the fuzz harness to assert on.
+    """
+
+    def __init__(self, plan: RunnerFaultPlan):
+        self._pending: List[int] = sorted(int(k) for k in plan.kill_after)
+        self._rng = np.random.default_rng(plan.seed)
+        #: ``(completed_count, worker_id)`` per kill actually issued.
+        self.kills: List[Tuple[int, int]] = []
+
+    def victim(self, completed: int, worker_ids: Sequence[int]) -> Optional[int]:
+        """Worker to kill now, or ``None``.
+
+        Fires when ``completed`` reaches the next pending kill point and at
+        least one worker is alive; a point that passes with no live workers
+        is consumed without effect rather than rescheduled (the campaign is
+        presumably ending anyway).
+        """
+        if not self._pending or completed < self._pending[0]:
+            return None
+        self._pending.pop(0)
+        ids = list(worker_ids)
+        if not ids:
+            return None
+        wid = ids[int(self._rng.integers(0, len(ids)))]
+        self.kills.append((completed, wid))
+        return wid

@@ -54,6 +54,7 @@ from repro.analysis import (
     utilization_vs_improvement,
 )
 from repro.analysis.availability import render_availability
+from repro.chaos.faults import FAULT_FAMILIES, FAULT_INTENSITIES
 from repro.qa.lint import iter_python_files, lint_paths
 from repro.qa.rules import INVARIANTS, RULES
 from repro.runner import (
@@ -210,6 +211,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mh.add_argument("--out", required=True, help="output JSONL path")
     _add_runner_args(mh)
+
+    ch = sub.add_parser(
+        "chaos",
+        help="run the chaos resilience study (fault injection x mechanism)",
+    )
+    ch.add_argument(
+        "--reps",
+        type=int,
+        default=6,
+        help="repetition slots per client (each runs the full fault grid)",
+    )
+    ch.add_argument("--seed", type=int, default=2007)
+    ch.add_argument("--site", default="eBay", help="target site (default: eBay)")
+    ch.add_argument("--clients", default=None, help="comma-separated client subset")
+    ch.add_argument(
+        "--k",
+        type=int,
+        default=3,
+        help="paths per session including direct (default 3)",
+    )
+    ch.add_argument(
+        "--interval",
+        type=float,
+        default=360.0,
+        help="seconds between a client's repetition slots (default 360)",
+    )
+    ch.add_argument(
+        "--families",
+        default=",".join(FAULT_FAMILIES),
+        help="comma-separated fault families to inject "
+        f"(default {','.join(FAULT_FAMILIES)})",
+    )
+    ch.add_argument(
+        "--intensities",
+        default=",".join(FAULT_INTENSITIES),
+        help="comma-separated fault intensities "
+        f"(default {','.join(FAULT_INTENSITIES)})",
+    )
+    ch.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny deterministic campaign (2 clients x 1 rep, gray+correlated "
+        "at severe) for smoke runs",
+    )
+    ch.add_argument("--out", required=True, help="output JSONL path")
+    _add_runner_args(ch)
 
     sc = sub.add_parser(
         "scale",
@@ -739,6 +786,68 @@ def _cmd_mhttp(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.analysis.chaos import render_chaos
+    from repro.workloads.chaos import (
+        CHAOS_SESSION_CONFIG,
+        ChaosStudyParams,
+        plan_chaos,
+    )
+
+    if args.site not in SITES:
+        print(
+            f"error: unknown site {args.site!r}; choose from {list(SITES)}",
+            file=sys.stderr,
+        )
+        return 2
+    families = _split_csv(args.families) or list(FAULT_FAMILIES)
+    intensities = _split_csv(args.intensities) or list(FAULT_INTENSITIES)
+    scenario = Scenario.build(
+        ScenarioSpec.section2(sites=(args.site,)), seed=args.seed
+    )
+    clients = _dedupe("clients", _split_csv(args.clients))
+    if clients:
+        missing = [c for c in clients if c not in scenario.client_names]
+        if missing:
+            print(f"error: unknown clients {missing}", file=sys.stderr)
+            return 2
+    reps = args.reps
+    if args.quick:
+        # A fixed tiny campaign: the two acceptance families at one
+        # intensity, every mechanism arm, finishes in seconds.
+        reps = 1
+        families = ["none", "gray", "correlated"]
+        intensities = ["severe"]
+        clients = clients or scenario.client_names[:2]
+    try:
+        plan = plan_chaos(
+            scenario,
+            repetitions=reps,
+            interval=args.interval,
+            k=args.k,
+            families=families,
+            intensities=intensities,
+            config=CHAOS_SESSION_CONFIG,
+            params=ChaosStudyParams(),
+            site=args.site,
+            clients=clients,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with _obs_capture(args):
+        result = execute_plan(plan, scenario=scenario, **_runner_kwargs(args))
+    store = result.store
+    if store is None:  # pragma: no cover - max_units is not exposed here
+        print("campaign incomplete; resume with --checkpoint/--resume")
+        return 1
+    store.save_jsonl(args.out)
+    print(f"wrote {len(store)} records to {args.out}")
+    print()
+    print(render_chaos(store.records))
+    return 0
+
+
 def _cmd_scale(args) -> int:
     from repro.analysis.scale import render_scale
     from repro.workloads.scale import (
@@ -1118,6 +1227,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "section4": _cmd_section4,
         "failures": _cmd_failures,
         "mhttp": _cmd_mhttp,
+        "chaos": _cmd_chaos,
         "scale": _cmd_scale,
         "report": _cmd_report,
         "catalog": _cmd_catalog,

@@ -44,14 +44,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Outage:
-    """One link failure interval ``[start, start + duration)``."""
+    """One link failure interval ``[start, start + duration)``.
+
+    A zero-length outage (``duration == 0``) is a legal degenerate window:
+    it covers no time, so it must leave any trace it is applied to
+    untouched.  Generators never emit them, but fault-plan arithmetic
+    (clipping a window to a horizon, chaos duty cycles) can.
+    """
 
     start: float
     duration: float
 
     def __post_init__(self) -> None:
         check_non_negative(self.start, "start")
-        check_positive(self.duration, "duration")
+        check_non_negative(self.duration, "duration")
 
     @property
     def end(self) -> float:
@@ -72,7 +78,13 @@ def apply_outages(trace: CapacityTrace, outages: Sequence[Outage]) -> CapacityTr
     the trace's last breakpoint are fine: the rewritten trace never carries
     duplicate or value-repeating breakpoints, so its zero-capacity measure
     over any window equals :func:`total_downtime` over the same window.
+    Zero-length outages cover no time and are dropped before rewriting -
+    naively inserting their start/end breakpoints would leave a duplicate
+    breakpoint time carrying two values (0 then the resumed capacity),
+    which the trace constructor resolves by *discarding the blackout*,
+    silently inverting the window's intent.
     """
+    outages = [o for o in outages if o.duration > 0.0]
     if not outages:
         return trace
     ordered = sorted(outages, key=lambda o: o.start)

@@ -366,6 +366,34 @@ _INVARIANT_LIST: Tuple[Invariant, ...] = (
         ),
         hint="check ProbeEngine teardown of losing probes and session phase bookkeeping",
     ),
+    Invariant(
+        code="QA-R006",
+        name="fault-window-blackout",
+        summary=(
+            "a link inside a registered blackout fault window carries (near) "
+            "zero capacity and zero load: no bytes cross a partitioned or "
+            "fully failed path while the fault is active"
+        ),
+        hint=(
+            "the chaos fault plan and the rewritten capacity traces disagree; "
+            "check Scenario.with_faults / apply_fault_windows and that the "
+            "blackout spans handed to watch_fault_windows use the same link "
+            "names as the topology"
+        ),
+    ),
+    Invariant(
+        code="QA-R007",
+        name="recovery-bytes-monotone",
+        summary=(
+            "bytes_received snapshots along a session's recovery timeline "
+            "never decrease: progress survives stalls, failovers and reprobes"
+        ),
+        hint=(
+            "a recovery event recorded fewer delivered bytes than its "
+            "predecessor; check how the resilient session snapshots flow "
+            "progress when tearing down and re-issuing transfers"
+        ),
+    ),
 )
 
 

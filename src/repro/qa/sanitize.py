@@ -101,6 +101,9 @@ class Sanitizer:
     violations: List[Violation] = field(default_factory=list)
     checks_run: int = 0
     _last_delivered: Dict[int, float] = field(default_factory=dict)
+    #: Link name -> blackout [start, end) spans registered by the chaos
+    #: subsystem; :meth:`check_allocation` enforces QA-R006 against them.
+    fault_windows: Dict[str, List[Any]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.mode not in ("raise", "collect"):
@@ -192,6 +195,23 @@ class Sanitizer:
         self._last_delivered.pop(flow_id, None)
 
     # ------------------------------------------------------------------ #
+    # QA-R006: blackout fault windows
+    # ------------------------------------------------------------------ #
+    def watch_fault_windows(self, spans_by_link: Dict[str, Any]) -> None:
+        """Register blackout spans for QA-R006 enforcement.
+
+        ``spans_by_link`` maps link names to ``(start, end)`` pairs during
+        which the link is fully failed (see
+        :func:`repro.chaos.faults.blackout_spans`).  Later registrations
+        extend earlier ones, so a sanitizer shared across several faulted
+        universes accumulates every window it must police.
+        """
+        for name, spans in spans_by_link.items():
+            self.fault_windows.setdefault(str(name), []).extend(
+                (float(t0), float(t1)) for t0, t1 in spans
+            )
+
+    # ------------------------------------------------------------------ #
     # QA-R003 + QA-R004: allocation validity and link capacity
     # ------------------------------------------------------------------ #
     def check_allocation(
@@ -205,12 +225,43 @@ class Sanitizer:
     ) -> None:
         """Validate a freshly installed rate allocation.
 
-        QA-R004 (per-link capacity) is checked first with a precise per-link
+        QA-R006 (blackout fault windows, when any are registered) runs
+        first, then QA-R004 (per-link capacity) with a precise per-link
         diagnostic, then QA-R003 runs the full max-min post-condition
         (feasibility + cap-respect + fairness).
         """
         self.checks_run += 1
         load = incidence @ rates if incidence.size else np.zeros(len(link_names))
+        if self.fault_windows:
+            for i, name in enumerate(link_names):
+                spans = self.fault_windows.get(str(name))
+                if not spans:
+                    continue
+                if not any(t0 <= now < t1 for t0, t1 in spans):
+                    continue
+                slack_i = CAPACITY_RTOL * max(float(capacities[i]), 1.0)
+                if capacities[i] > slack_i:
+                    self._report(
+                        "QA-R006",
+                        now,
+                        str(name),
+                        f"link carries {capacities[i]!r} bytes/s of capacity "
+                        "inside a registered blackout fault window",
+                        measured=float(capacities[i]),
+                        limit=slack_i,
+                    )
+                    return
+                if load[i] > RATE_ATOL:
+                    self._report(
+                        "QA-R006",
+                        now,
+                        str(name),
+                        f"{load[i]!r} bytes/s of traffic crossed the link "
+                        "inside a registered blackout fault window",
+                        measured=float(load[i]),
+                        limit=RATE_ATOL,
+                    )
+                    return
         slack = CAPACITY_RTOL * np.maximum(capacities, 1.0)
         over = np.flatnonzero(load > capacities + slack)
         if over.size:
@@ -320,7 +371,23 @@ class Sanitizer:
         # results are treated as their defaults).
         events = tuple(getattr(result, "recovery_events", ()) or ())
         prev_time = float(result.requested_at)
+        prev_bytes = 0.0
         for event in events:
+            # QA-R007: delivered-byte snapshots along the recovery timeline
+            # never go backwards, even when overlapping faults interleave
+            # stalls, failovers and reissues.
+            if event.bytes_received < prev_bytes - BYTE_CONSERVATION_SLACK:
+                self._report(
+                    "QA-R007",
+                    now,
+                    f"{result.client}->{result.server}",
+                    f"recovery event {event.kind!r} at t={event.time!r} "
+                    f"snapshot {event.bytes_received!r} bytes, below the "
+                    f"earlier snapshot of {prev_bytes!r}",
+                    measured=float(event.bytes_received),
+                    limit=prev_bytes,
+                )
+            prev_bytes = max(prev_bytes, float(event.bytes_received))
             if not (result.requested_at <= event.time <= result.completed_at):
                 self._report(
                     "QA-R005",

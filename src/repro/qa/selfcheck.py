@@ -149,6 +149,59 @@ def _check_probe_accounting() -> CheckResult:
     return _expect_violation(sanitizer, "QA-R005", "probe-accounting fires")
 
 
+def _check_fault_window_blackout() -> CheckResult:
+    """QA-R006 must catch traffic crossing a registered blackout window."""
+    sanitizer = Sanitizer(mode="collect")
+    sanitizer.watch_fault_windows({"wan:stub": [(5.0, 15.0)]})
+    capacities = np.array([100.0])
+    incidence = np.array([[True]])
+    caps = np.array([np.inf])
+    rates = np.array([50.0])  # link is supposed to be dead at t=10
+    sanitizer.check_allocation(10.0, capacities, incidence, caps, rates, ["wan:stub"])
+    return _expect_violation(sanitizer, "QA-R006", "fault-window-blackout fires")
+
+
+@dataclass
+class _StubRecoveryEvent:
+    time: float
+    kind: str
+    bytes_received: float
+
+
+@dataclass
+class _StubSessionResult:
+    client: str
+    server: str
+    resource: str
+    requested_at: float
+    completed_at: float
+    remainder_started_at: object
+    size: float
+    recovery_events: Tuple[object, ...]
+    bytes_received: float
+
+
+def _check_recovery_bytes_monotone() -> CheckResult:
+    """QA-R007 must catch a recovery timeline whose byte count regresses."""
+    sanitizer = Sanitizer(mode="collect")
+    result = _StubSessionResult(
+        client="Italy",
+        server="eBay",
+        resource="/download",
+        requested_at=0.0,
+        completed_at=100.0,
+        remainder_started_at=None,
+        size=4.0e6,
+        recovery_events=(
+            _StubRecoveryEvent(time=10.0, kind="stall", bytes_received=2.0e6),
+            _StubRecoveryEvent(time=20.0, kind="failover", bytes_received=1.0e6),
+        ),
+        bytes_received=4.0e6,
+    )
+    sanitizer.check_session_result(result)
+    return _expect_violation(sanitizer, "QA-R007", "recovery-bytes-monotone fires")
+
+
 def _check_clean_run() -> CheckResult:
     """A healthy two-flow contention scenario must produce zero violations."""
     from repro.net.link import Link
@@ -196,6 +249,8 @@ _CHECKS: Tuple[Callable[[], CheckResult], ...] = (
     _check_link_capacity,
     _check_allocation_fairness,
     _check_probe_accounting,
+    _check_fault_window_blackout,
+    _check_recovery_bytes_monotone,
     _check_clean_run,
 )
 

@@ -17,9 +17,14 @@ Shard assignment is a pure function of the plan (contiguous index blocks),
 so it is identical for every worker count; workers never write shards -
 the parent process appends results as they arrive, which keeps writes
 single-writer and makes a half-written final line (from a kill) the only
-possible corruption.  :meth:`CheckpointStore.completed_units` tolerates
-exactly that: a torn *final* line per shard is dropped, anything else is an
-error.
+corruption *this code* can produce.  :meth:`CheckpointStore.completed_units`
+tolerates exactly that: a torn *final* line per shard is dropped and the
+unit re-executes.  Corruption anywhere else (disk fault, truncation, an
+editor mangling a shard) cannot come from a crash, so the damaged shard is
+*quarantined* rather than trusted or fatal: the file is renamed aside, a
+structured :class:`ShardQuarantine` records what happened, and every unit
+the shard held re-executes into a fresh shard file - resume survives, and
+nothing half-readable leaks into the merge.
 
 Resume protocol: the manifest records :meth:`CampaignPlan.fingerprint`.
 Opening an existing checkpoint requires ``resume=True`` (refusing to
@@ -31,8 +36,9 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, IO, Optional, Tuple, Union
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
 from repro.runner.plan import CampaignPlan
 from repro.trace.records import TransferRecord
@@ -46,6 +52,7 @@ __all__ = [
     "DEFAULT_NUM_SHARDS",
     "MANIFEST_NAME",
     "SUMMARY_NAME",
+    "ShardQuarantine",
 ]
 
 MANIFEST_NAME = "manifest.json"
@@ -62,6 +69,36 @@ PathLike = Union[str, Path]
 
 class CheckpointError(RuntimeError):
     """A checkpoint directory is unusable (corrupt, wrong format, ...)."""
+
+
+@dataclass(frozen=True)
+class ShardQuarantine:
+    """Structured record of one corrupted shard set aside during resume.
+
+    Attributes
+    ----------
+    shard:
+        Original path of the damaged shard file.
+    line:
+        1-based number of the first unreadable line.
+    reason:
+        The decode error that made the line unreadable.
+    quarantined_to:
+        Where the damaged file was moved (same directory, ``.quarantined``
+        suffix) for post-mortem inspection.
+    """
+
+    shard: str
+    line: int
+    reason: str
+    quarantined_to: str
+
+    def __str__(self) -> str:
+        return (
+            f"checkpoint shard {self.shard} is corrupt at line {self.line} "
+            f"({self.reason}); moved to {self.quarantined_to} and its units "
+            "will re-execute"
+        )
 
 
 class CheckpointExistsError(CheckpointError):
@@ -104,6 +141,8 @@ class CheckpointStore:
         self._handles: Dict[int, IO[str]] = {}
         self._dirty: Dict[int, bool] = {}
         self._appended = 0
+        #: Corrupted shards set aside by the last :meth:`completed_units`.
+        self.quarantines: List[ShardQuarantine] = []
 
     # ------------------------------------------------------------------ #
     # opening
@@ -248,15 +287,23 @@ class CheckpointStore:
         """Read back every durably recorded unit: index -> (unit id, record).
 
         A torn final line (the signature of a mid-write kill) is dropped
-        per shard; malformed content anywhere else raises
-        :class:`CheckpointError`.  Duplicate indices keep the first
-        occurrence, matching the executor's skip-completed semantics.
+        per shard.  Malformed content anywhere *else* cannot come from a
+        crash of this single-writer store, so the whole shard is
+        quarantined: moved aside, recorded in :attr:`quarantines`, and
+        every entry it held discarded - the renamed file no longer backs
+        those rows, so trusting the readable prefix would hand the merge
+        records with no durable home.  The dropped units simply
+        re-execute.  Duplicate indices keep the first occurrence, matching
+        the executor's skip-completed semantics.
         """
         done: Dict[int, Tuple[str, TransferRecord]] = {}
+        self.quarantines = []
         shard_dir = self.directory / SHARD_DIR
         if not shard_dir.is_dir():
             return done
         for path in sorted(shard_dir.glob("shard-*.jsonl")):
+            entries: List[Tuple[int, str, TransferRecord]] = []
+            damage: Optional[Tuple[int, str]] = None
             lines = path.read_text(encoding="utf-8").split("\n")
             for lineno, line in enumerate(lines):
                 line = line.strip()
@@ -271,14 +318,36 @@ class CheckpointStore:
                     if lineno == len(lines) - 1 or (
                         lineno == len(lines) - 2 and not lines[-1].strip()
                     ):
-                        # Torn trailing write from a killed run; the unit will
-                        # simply be re-executed.
+                        # Torn trailing write from a killed run; the unit
+                        # will simply be re-executed.
                         break
-                    raise CheckpointError(
-                        f"corrupt checkpoint shard {path} line {lineno + 1}: {exc}"
-                    ) from exc
+                    damage = (lineno + 1, str(exc))
+                    break
+                entries.append((index, unit_id, record))
+            if damage is not None:
+                target = self._quarantine_shard(path)
+                self.quarantines.append(
+                    ShardQuarantine(
+                        shard=str(path),
+                        line=damage[0],
+                        reason=damage[1],
+                        quarantined_to=str(target),
+                    )
+                )
+                continue
+            for index, unit_id, record in entries:
                 done.setdefault(index, (unit_id, record))
         return done
+
+    def _quarantine_shard(self, path: Path) -> Path:
+        """Move a damaged shard aside (never clobbering a prior quarantine)."""
+        target = path.with_name(path.name + ".quarantined")
+        n = 1
+        while target.exists():
+            target = path.with_name(f"{path.name}.quarantined.{n}")
+            n += 1
+        os.replace(path, target)
+        return target
 
     def merge(self, plan: CampaignPlan) -> TraceStore:
         """Merge all shards into one store ordered by the plan's sort key.

@@ -34,6 +34,7 @@ serial API and the fast path for small campaigns.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import queue as queue_mod
 import signal
 import time
@@ -137,6 +138,10 @@ def run_unit(
             from repro.workloads.scale import run_scale_unit
 
             return run_scale_unit(scenario, config, unit, extra)
+        if unit.runner == "chaos":
+            from repro.workloads.chaos import run_chaos_unit
+
+            return run_chaos_unit(scenario, config, unit, extra)
         raise ValueError(f"unknown unit runner {unit.runner!r}")
     if unit.variant is not None:
         from repro.workloads.failures import run_failure_unit
@@ -169,12 +174,15 @@ def _worker_main(
     config: SessionConfig,
     extra: Any,
     task_q: Any,
-    result_q: Any,
+    result_conn: Any,
 ) -> None:
     """Worker loop: build the scenario once, then execute units until sentinel.
 
     SIGINT is ignored so Ctrl-C is handled solely by the parent's drain
-    logic; the parent terminates workers explicitly.
+    logic; the parent terminates workers explicitly.  Results travel over a
+    pipe owned by this worker alone: a crash mid-``send`` can tear at most
+    this worker's own stream, never a sibling's (the parent discards the
+    pipe when it reaps the process).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     # When the parent enabled observability (REPRO_OBS travels through the
@@ -185,10 +193,17 @@ def _worker_main(
         # Same name the parent uses for this worker's unit spans, so the
         # worker's engine spans land on the same Chrome-trace track.
         obs.track = f"worker-{worker_id}"
+    def send(message: Tuple[str, int, int, Any]) -> bool:
+        try:
+            result_conn.send(message)
+        except (BrokenPipeError, OSError):
+            return False  # parent is gone; nothing left to report to
+        return True
+
     try:
         scenario = Scenario.build(spec, seed=seed)
     except BaseException:
-        result_q.put(("boot", worker_id, -1, traceback.format_exc()))
+        send(("boot", worker_id, -1, traceback.format_exc()))
         return
     while True:
         unit = task_q.get()
@@ -198,9 +213,11 @@ def _worker_main(
         try:
             record = run_unit(scenario, config, unit, extra)
         except BaseException:
-            result_q.put(("err", worker_id, unit.index, traceback.format_exc()))
+            alive = send(("err", worker_id, unit.index, traceback.format_exc()))
         else:
-            result_q.put(("ok", worker_id, unit.index, record))
+            alive = send(("ok", worker_id, unit.index, record))
+        if not alive:
+            return
 
 
 def _dump_obs_shard(worker_id: int) -> None:
@@ -235,6 +252,7 @@ class _WorkerHandle:
     worker_id: int
     process: Any
     task_q: Any
+    result_conn: Any
     inflight: Deque[WorkUnit] = field(default_factory=deque)
     head_since: float = 0.0
 
@@ -362,10 +380,13 @@ def _run_inline(
 # --------------------------------------------------------------------------- #
 # multiprocessing backend
 # --------------------------------------------------------------------------- #
-def _spawn_worker(
-    ctx: Any, worker_id: int, plan: CampaignPlan, result_q: Any
-) -> _WorkerHandle:
+def _spawn_worker(ctx: Any, worker_id: int, plan: CampaignPlan) -> _WorkerHandle:
     task_q = ctx.Queue(maxsize=QUEUE_DEPTH)
+    # One result pipe per worker.  A shared result queue would let a worker
+    # that dies mid-``send`` (chaos SIGKILL, OOM) leave a truncated pickle
+    # frame in the common stream and wedge every survivor; with a private
+    # pipe the damage is confined to a channel the parent throws away.
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
     process = ctx.Process(
         target=_worker_main,
         args=(
@@ -375,18 +396,44 @@ def _spawn_worker(
             plan.config,
             plan.extra,
             task_q,
-            result_q,
+            send_conn,
         ),
         daemon=True,
         name=f"repro-runner-{worker_id}",
     )
     process.start()
-    return _WorkerHandle(worker_id=worker_id, process=process, task_q=task_q)
+    # Drop the parent's copy of the write end: once the worker dies, reads
+    # hit EOF instead of blocking forever on a half-written frame.
+    send_conn.close()
+    return _WorkerHandle(
+        worker_id=worker_id, process=process, task_q=task_q, result_conn=recv_conn
+    )
 
 
 def _retire_worker(handle: _WorkerHandle) -> None:
     handle.task_q.cancel_join_thread()
     handle.task_q.close()
+    try:
+        handle.result_conn.close()
+    except OSError:  # pragma: no cover - close is best-effort
+        pass
+
+
+def _drain_conn(handle: _WorkerHandle, deliver: Callable[[Any], None]) -> None:
+    """Deliver every complete message already buffered on a worker's pipe.
+
+    Safe on dead workers: the parent holds no write end, so a torn frame
+    (killed mid-``send``) raises ``EOFError``/``OSError`` instead of
+    blocking, and we simply stop there.
+    """
+    while True:
+        try:
+            if not handle.result_conn.poll(0):
+                return
+            message = handle.result_conn.recv()
+        except (EOFError, OSError):
+            return
+        deliver(message)
 
 
 def _shutdown_workers(workers: Dict[int, _WorkerHandle]) -> None:
@@ -410,10 +457,18 @@ def _run_parallel(
     *,
     jobs: int,
     unit_timeout: Optional[float],
+    runner_faults: Optional[Any] = None,
 ) -> None:
-    """Dispatch units to a spawn pool, handling crashes, timeouts, retries."""
+    """Dispatch units to a spawn pool, handling crashes, timeouts, retries.
+
+    ``runner_faults`` (a :class:`~repro.chaos.runner.RunnerFaultPlan`)
+    SIGKILLs a worker at each of its completion counts - chaos for the
+    executor itself.  The kill lands between completions, so the dead
+    worker's in-flight units ride the ordinary crash path (head charged,
+    rest requeued, respawn) and the artefact stays byte-identical.
+    """
+    injector = runner_faults.injector() if runner_faults is not None else None
     ctx = mp.get_context("spawn")
-    result_q = ctx.Queue()
     todo: Deque[WorkUnit] = deque(pending)
     target = len(pending)
     next_worker_id = 0
@@ -423,7 +478,7 @@ def _run_parallel(
 
     def spawn_one() -> None:
         nonlocal next_worker_id
-        handle = _spawn_worker(ctx, next_worker_id, state.plan, result_q)
+        handle = _spawn_worker(ctx, next_worker_id, state.plan)
         handle.head_since = state.clock()
         workers[handle.worker_id] = handle
         next_worker_id += 1
@@ -440,6 +495,46 @@ def _run_parallel(
             todo.appendleft(unit)
         state.register_failure(head, error, handle.name)
         todo.appendleft(head)
+
+    def _deliver(message: Any) -> None:
+        kind, worker_id, index, payload = message
+        handle = workers.get(worker_id)
+        if kind == "boot":
+            # Scenario construction is deterministic: if one worker
+            # cannot build it, every respawn would fail the same way.
+            raise RunnerError(
+                f"worker-{worker_id} failed to build its scenario:\n"
+                f"{payload}"
+            )
+        if handle is None:  # pragma: no cover - defensive
+            # Result drained from a worker we already reaped.  Completion
+            # is idempotent, so credit successes and drop errors.
+            if kind == "ok":
+                state.complete(state.plan.units[index], payload, "stale")
+        elif kind == "ok" or kind == "err":
+            unit = handle.inflight.popleft()
+            if unit.index != index:  # pragma: no cover - invariant
+                raise RunnerError(
+                    f"{handle.name} returned unit {index} but "
+                    f"{unit.index} was at the head of its queue"
+                )
+            started_at = handle.head_since  # when the unit became head
+            handle.head_since = state.clock()
+            if state.obs is not None:
+                dispatched = enqueued_at.pop(unit.index, started_at)
+                state.obs.observe_value(
+                    "runner.queue_wait_seconds",
+                    max(0.0, started_at - dispatched),
+                )
+                state.unit_span(
+                    unit, started_at, handle.head_since,
+                    handle.name, kind == "ok",
+                )
+            if kind == "ok":
+                state.complete(unit, payload, handle.name)
+            else:
+                state.register_failure(unit, payload, handle.name)
+                todo.appendleft(unit)
 
     for _ in range(max(1, min(jobs, len(pending)))):
         spawn_one()
@@ -464,52 +559,28 @@ def _run_parallel(
                         handle.head_since = state.clock()
                     handle.inflight.append(unit)
 
-            try:
-                message = result_q.get(timeout=_POLL_INTERVAL)
-            except queue_mod.Empty:
-                message = None
+            ready = mp_connection.wait(
+                [h.result_conn for h in workers.values()],
+                timeout=_POLL_INTERVAL,
+            )
+            for conn in ready:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died, possibly mid-send; whatever completed
+                    # before the torn frame was already delivered.  The
+                    # liveness sweep below requeues its in-flight units.
+                    continue
+                _deliver(message)
 
-            if message is not None:
-                kind, worker_id, index, payload = message
-                handle = workers.get(worker_id)
-                if kind == "boot":
-                    # Scenario construction is deterministic: if one worker
-                    # cannot build it, every respawn would fail the same way.
-                    raise RunnerError(
-                        f"worker-{worker_id} failed to build its scenario:\n"
-                        f"{payload}"
-                    )
-                if handle is None:
-                    # Result from a worker we already killed (e.g. timeout
-                    # fired while the unit was completing).  Completion is
-                    # idempotent, so credit successes and drop errors - the
-                    # unit was already requeued/charged when the worker died.
-                    if kind == "ok":
-                        state.complete(state.plan.units[index], payload, "stale")
-                elif kind == "ok" or kind == "err":
-                    unit = handle.inflight.popleft()
-                    if unit.index != index:  # pragma: no cover - invariant
-                        raise RunnerError(
-                            f"{handle.name} returned unit {index} but "
-                            f"{unit.index} was at the head of its queue"
-                        )
-                    started_at = handle.head_since  # when the unit became head
-                    handle.head_since = state.clock()
-                    if state.obs is not None:
-                        dispatched = enqueued_at.pop(unit.index, started_at)
-                        state.obs.observe_value(
-                            "runner.queue_wait_seconds",
-                            max(0.0, started_at - dispatched),
-                        )
-                        state.unit_span(
-                            unit, started_at, handle.head_since,
-                            handle.name, kind == "ok",
-                        )
-                    if kind == "ok":
-                        state.complete(unit, payload, handle.name)
-                    else:
-                        state.register_failure(unit, payload, handle.name)
-                        todo.appendleft(unit)
+            if injector is not None and workers:
+                victim = injector.victim(state.executed, sorted(workers))
+                if victim is not None:
+                    # SIGKILL, not terminate: a chaos kill models a hard
+                    # crash (OOM, power loss), so the victim gets no chance
+                    # to flush anything.  The sweep below treats it exactly
+                    # like any other dead worker.
+                    workers[victim].process.kill()
 
             now = state.clock()
             for worker_id in list(workers):
@@ -531,6 +602,10 @@ def _run_parallel(
                     f"{handle.process.exitcode} mid-campaign"
                 )
                 handle.process.join(timeout=2.0)
+                # Credit any results the worker finished sending before it
+                # died (or was timed out) - they must not be re-charged as
+                # failures.  A frame torn by the kill just ends the drain.
+                _drain_conn(handle, _deliver)
                 del workers[worker_id]
                 _retire_worker(handle)
                 requeue_inflight(handle, error=cause)
@@ -543,19 +618,11 @@ def _run_parallel(
                 )
     except KeyboardInterrupt:
         # Graceful drain: credit anything that already finished, then stop.
-        while True:
-            try:
-                message = result_q.get_nowait()
-            except queue_mod.Empty:
-                break
-            kind, _worker_id, index, payload = message
-            if kind == "ok":
-                state.complete(state.plan.units[index], payload, "drain")
+        for handle in list(workers.values()):
+            _drain_conn(handle, _deliver)
         raise
     finally:
         _shutdown_workers(workers)
-        result_q.cancel_join_thread()
-        result_q.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -575,6 +642,7 @@ def execute_plan(
     max_retries: int = DEFAULT_MAX_RETRIES,
     max_units: Optional[int] = None,
     run_unit_fn: Optional[RunUnitFn] = None,
+    runner_faults: Optional[Any] = None,
     clock: Callable[[], float] = time.monotonic,
 ) -> ExecutionResult:
     """Execute a campaign plan and return the merged store plus a summary.
@@ -604,6 +672,11 @@ def execute_plan(
         and budgeted runs; resuming later completes the campaign.
     run_unit_fn:
         Test hook replacing :func:`run_unit` on the inline path.
+    runner_faults:
+        Optional :class:`~repro.chaos.runner.RunnerFaultPlan` killing
+        workers at deterministic completion counts (parallel path only;
+        there is no worker to murder inline).  Artefacts never depend on
+        it - that is the property the kill/resume fuzz asserts.
     clock:
         Monotonic clock used for telemetry and timeouts only; measurement
         results never depend on it.
@@ -612,6 +685,8 @@ def execute_plan(
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if run_unit_fn is not None and jobs > 1:
         raise ValueError("run_unit_fn is an inline-only test hook; use jobs=1")
+    if runner_faults is not None and jobs == 1:
+        raise ValueError("runner_faults needs worker processes; use jobs > 1")
     if scenario is not None and (
         scenario.spec != plan.scenario_spec
         or scenario.bank.root_seed != plan.seed
@@ -672,7 +747,13 @@ def execute_plan(
 
                 _run_inline(state, pending, scenario, run_unit_fn or _default_fn)
             else:
-                _run_parallel(state, pending, jobs=jobs, unit_timeout=unit_timeout)
+                _run_parallel(
+                    state,
+                    pending,
+                    jobs=jobs,
+                    unit_timeout=unit_timeout,
+                    runner_faults=runner_faults,
+                )
     except KeyboardInterrupt:
         interrupted = True
         raise

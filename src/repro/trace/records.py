@@ -20,7 +20,13 @@ from typing import Any, ClassVar, Dict, Optional, Tuple, Type
 
 from repro.core.resilience import RecoveryEvent
 
-__all__ = ["TransferRecord", "FailureRecord", "StripeRecord", "ScaleRecord"]
+__all__ = [
+    "TransferRecord",
+    "FailureRecord",
+    "StripeRecord",
+    "ScaleRecord",
+    "ChaosRecord",
+]
 
 #: record_type tag -> record class, for :meth:`TransferRecord.from_dict`.
 _RECORD_TYPES: Dict[str, Type["TransferRecord"]] = {}
@@ -417,6 +423,142 @@ class StripeRecord(TransferRecord):
 
 
 @dataclass(frozen=True)
+class ChaosRecord(TransferRecord):
+    """One measurement cell of the chaos resilience study.
+
+    Each row compares one mechanism arm (``select``, ``failover`` or
+    ``stripe``) against the direct control on the same fault-injected
+    scenario.  As with :class:`FailureRecord`, zero throughputs and
+    durations are legal - an aborted session delivered nothing, and the
+    resilience analysis wants exactly that signal.
+
+    Attributes
+    ----------
+    mechanism:
+        ``"select"`` (probe race, no mid-transfer recovery),
+        ``"failover"`` (probe race + the PR 4 resilient protocol) or
+        ``"stripe"`` (mHTTP block striping over the same path set).
+    fault_family / intensity:
+        The injected fault coordinate: a family from
+        :data:`~repro.chaos.faults.FAULT_FAMILIES` at ``"mild"`` or
+        ``"severe"`` intensity (``"none"`` rows are the in-cell baseline).
+    stripe_k:
+        Paths the mechanism had available, direct included.
+    outcome / direct_outcome:
+        :class:`~repro.core.resilience.SessionOutcome` strings of the
+        mechanism and control sessions.
+    n_failovers / n_path_failures:
+        Recovery actions: failover switches for select/failover rows,
+        stripe paths declared dead for stripe rows (both columns kept so
+        the analysis can tell them apart).
+    bytes_received:
+        Payload the mechanism session delivered.
+    direct_duration / selected_duration:
+        Wall durations of the control and mechanism sessions, seconds.
+    time_to_recover:
+        Seconds from the first stall (or dead stripe path) to the recovery
+        action that answered it; NaN when nothing stalled or nothing
+        recovered.
+    fault_downtime:
+        Seconds of the mechanism session's lifetime during which some link
+        in the unit's fault plan was degraded or dark.
+    fault_overlap:
+        True when the mechanism session overlapped a fault window.
+    recovery_events:
+        The mechanism session's recovery timeline.
+    """
+
+    RECORD_TYPE: ClassVar[str] = "chaos"
+
+    #: Mechanism arms a chaos row may carry.
+    MECHANISMS: ClassVar[Tuple[str, ...]] = ("select", "failover", "stripe")
+
+    mechanism: str = "select"
+    fault_family: str = "none"
+    intensity: str = "mild"
+    stripe_k: int = 0
+    outcome: str = "completed"
+    direct_outcome: str = "completed"
+    n_failovers: int = 0
+    n_path_failures: int = 0
+    bytes_received: float = 0.0
+    direct_duration: float = 0.0
+    selected_duration: float = 0.0
+    time_to_recover: float = math.nan
+    fault_downtime: float = 0.0
+    fault_overlap: bool = False
+    recovery_events: Tuple[RecoveryEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Loosened like FailureRecord: aborted rows carry legitimate zeros.
+        if self.mechanism not in self.MECHANISMS:
+            raise ValueError(
+                f"mechanism must be one of {self.MECHANISMS}, got {self.mechanism!r}"
+            )
+        if self.direct_throughput < 0.0:
+            raise ValueError("direct_throughput must be >= 0")
+        if self.selected_throughput < 0.0:
+            raise ValueError("selected_throughput must be >= 0")
+        if self.fault_downtime < 0.0:
+            raise ValueError("fault_downtime must be >= 0")
+        if self.selected_via is not None and self.selected_via not in self.offered:
+            raise ValueError(
+                f"selected relay {self.selected_via!r} not in offered set {self.offered}"
+            )
+
+    @property
+    def aborted(self) -> bool:
+        """True when the mechanism session gave up."""
+        return self.outcome == "aborted"
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Payload delivered relative to the object size (1.0 when whole)."""
+        if self.file_bytes <= 0.0:
+            return 0.0
+        return min(self.bytes_received, self.file_bytes) / self.file_bytes
+
+    @property
+    def available(self) -> bool:
+        """The availability bit: the mechanism delivered the whole object."""
+        return not self.aborted and self.delivered_fraction >= 1.0
+
+    @property
+    def speedup(self) -> float:
+        """Control duration / mechanism duration (>1 = mechanism faster).
+
+        NaN when either duration is non-positive - never raises.
+        """
+        if self.selected_duration <= 0.0 or self.direct_duration <= 0.0:
+            return math.nan
+        return self.direct_duration / self.selected_duration
+
+    @property
+    def sort_key(self) -> Tuple:
+        """Extends the base total order with the chaos-grid coordinates.
+
+        All mechanism arms of one (family, intensity) cell - and all cells
+        of one repetition slot - share every base coordinate, so the grid
+        coordinates must participate for the shard merge to stay a total
+        order (the ``--jobs`` byte-identity requirement).
+        """
+        return (*super().sort_key, self.mechanism, self.fault_family, self.intensity)
+
+    def to_dict(self) -> Dict[str, Any]:
+        d = super().to_dict()
+        d["recovery_events"] = [e.to_dict() for e in self.recovery_events]
+        return d
+
+    @classmethod
+    def _decode(cls, d: Dict[str, Any]) -> "ChaosRecord":
+        d["offered"] = tuple(d["offered"])
+        d["recovery_events"] = tuple(
+            RecoveryEvent.from_dict(e) for e in d.get("recovery_events", ())
+        )
+        return cls(**d)
+
+
+@dataclass(frozen=True)
 class ScaleRecord(TransferRecord):
     """One wave of the population-scale study: aggregate, not a pair.
 
@@ -507,4 +649,5 @@ class ScaleRecord(TransferRecord):
 _RECORD_TYPES[TransferRecord.RECORD_TYPE] = TransferRecord
 _RECORD_TYPES[FailureRecord.RECORD_TYPE] = FailureRecord
 _RECORD_TYPES[StripeRecord.RECORD_TYPE] = StripeRecord
+_RECORD_TYPES[ChaosRecord.RECORD_TYPE] = ChaosRecord
 _RECORD_TYPES[ScaleRecord.RECORD_TYPE] = ScaleRecord

@@ -361,6 +361,38 @@ class Scenario:
             self.bank,
         )
 
+    def with_faults(self, windows_by_link: Dict[str, Sequence]) -> "Scenario":
+        """A what-if copy of this scenario with chaos fault windows injected.
+
+        The generalisation of :meth:`with_outages`: ``windows_by_link``
+        maps canonical link names to sequences of
+        :class:`~repro.chaos.faults.FaultWindow`, so gray (fractional)
+        degradation and blackouts compose in one plan.  Everything else -
+        profiles, servers, relays, seeds - is shared with the original.
+        """
+        from repro.chaos.faults import apply_fault_windows
+
+        unknown = [name for name in windows_by_link if name not in
+                   {l.name for l in self.topology.links}]
+        if unknown:
+            raise KeyError(f"unknown links in fault plan: {unknown}")
+
+        def transform(link):
+            windows = windows_by_link.get(link.name, ())
+            return apply_fault_windows(link.trace, list(windows))
+
+        topology = self.topology.copy_with_traces(transform)
+        builder = OverlayPathBuilder(topology, self.builder.registry, self.servers)
+        return Scenario(
+            self.spec,
+            topology,
+            builder,
+            self.servers,
+            self.profiles,
+            self.relay_quality,
+            self.bank,
+        )
+
     def mean_overlay_capacity(self, client: str, relay: str) -> float:
         """Time-averaged relay->client overlay capacity (for a-priori ranking)."""
         link = self.topology.link(wan_link_name(relay, client))

@@ -1,0 +1,313 @@
+"""Chaos fault-injection tests: trace rewrites, plans, and engine identity.
+
+Covers the `repro.chaos.faults` taxonomy (gray / flap / correlated /
+partition), the `apply_outages` edge cases the chaos layer leans on
+(zero-length outages, back-to-back windows sharing a breakpoint), and the
+requirement that both engine paths see identical fault conditions: the
+classic per-object oracle and the vectorised SoA core must produce
+bit-identical results over fault-rewritten traces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos.faults import (
+    FAULT_FAMILIES,
+    FaultWindow,
+    apply_fault_windows,
+    blackout_spans,
+    compile_fault_plan,
+    degraded_seconds,
+    flapping_windows,
+    intensity_params,
+    plan_spans,
+)
+from repro.net.failures import Outage, apply_outages
+from repro.net.link import Link
+from repro.net.route import Route
+from repro.net.trace import CapacityTrace
+from repro.sim.simulator import Simulator
+from repro.tcp.fluid import FluidNetwork
+
+
+class TestFaultWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow(start=-1.0, duration=5.0)
+        with pytest.raises(ValueError):
+            FaultWindow(start=0.0, duration=-1.0)
+        with pytest.raises(ValueError):
+            FaultWindow(start=0.0, duration=5.0, factor=1.0)  # no-op forbidden
+        with pytest.raises(ValueError):
+            FaultWindow(start=0.0, duration=5.0, factor=-0.1)
+
+    def test_zero_length_is_legal(self):
+        w = FaultWindow(start=3.0, duration=0.0)
+        assert w.end == 3.0
+        assert not w.overlaps(0.0, 10.0)
+
+    def test_blackout_and_overlap(self):
+        w = FaultWindow(start=10.0, duration=5.0, factor=0.5)
+        assert not w.is_blackout
+        assert w.overlaps(12.0, 20.0)
+        assert not w.overlaps(15.0, 20.0)  # half-open: end excluded
+
+
+class TestApplyFaultWindows:
+    def test_gray_window_on_constant_trace(self):
+        trace = CapacityTrace.constant(1000.0)
+        out = apply_fault_windows(trace, [FaultWindow(10.0, 20.0, factor=0.25)])
+        assert out.value_at(5.0) == 1000.0
+        assert out.value_at(10.0) == 250.0
+        assert out.value_at(29.999) == 250.0
+        assert out.value_at(30.0) == 1000.0
+
+    def test_interior_breakpoints_scaled_not_swallowed(self):
+        # The underlying trace halves at t=15, inside the window: the gray
+        # rewrite must preserve that shape at reduced amplitude.
+        trace = CapacityTrace([0.0, 15.0], [1000.0, 500.0])
+        out = apply_fault_windows(trace, [FaultWindow(10.0, 20.0, factor=0.5)])
+        assert out.value_at(12.0) == 500.0
+        assert out.value_at(16.0) == 250.0
+        assert out.value_at(30.0) == 500.0
+
+    def test_blackout_matches_apply_outages(self):
+        trace = CapacityTrace([0.0, 50.0, 200.0], [2000.0, 800.0, 1600.0])
+        windows = [FaultWindow(30.0, 40.0, 0.0), FaultWindow(120.0, 30.0, 0.0)]
+        outages = [Outage(30.0, 40.0), Outage(120.0, 30.0)]
+        a = apply_fault_windows(trace, windows)
+        b = apply_outages(trace, outages)
+        assert list(a.times) == list(b.times)
+        assert list(a.values) == list(b.values)
+
+    def test_zero_length_windows_dropped(self):
+        trace = CapacityTrace.constant(1000.0)
+        out = apply_fault_windows(trace, [FaultWindow(10.0, 0.0)])
+        assert list(out.times) == list(trace.times)
+        assert list(out.values) == list(trace.values)
+
+    def test_back_to_back_windows_share_breakpoint(self):
+        # A blackout ending exactly where a gray window starts: the shared
+        # instant must carry the gray value, never a resumed full-capacity
+        # sliver or an inverted (dropped) blackout.
+        trace = CapacityTrace.constant(1000.0)
+        out = apply_fault_windows(
+            trace,
+            [FaultWindow(10.0, 10.0, 0.0), FaultWindow(20.0, 10.0, 0.5)],
+        )
+        assert out.value_at(15.0) == 0.0
+        assert out.value_at(20.0) == 500.0
+        assert out.value_at(30.0) == 1000.0
+        assert list(out.times) == [0.0, 10.0, 20.0, 30.0]
+
+    def test_overlapping_windows_rejected(self):
+        trace = CapacityTrace.constant(1000.0)
+        with pytest.raises(ValueError, match="overlap"):
+            apply_fault_windows(
+                trace,
+                [FaultWindow(10.0, 10.0), FaultWindow(15.0, 10.0)],
+            )
+
+
+class TestApplyOutagesEdgeCases:
+    """Satellite regressions: the outage path the chaos layer builds on."""
+
+    def test_zero_length_outage_constructable_and_inert(self):
+        trace = CapacityTrace.constant(1000.0)
+        out = apply_outages(trace, [Outage(10.0, 0.0)])
+        assert list(out.times) == list(trace.times)
+        assert list(out.values) == list(trace.values)
+        # And mixed with a real outage, only the real one lands.
+        out = apply_outages(trace, [Outage(10.0, 0.0), Outage(20.0, 5.0)])
+        assert out.value_at(10.0) == 1000.0
+        assert out.value_at(22.0) == 0.0
+        assert out.value_at(25.0) == 1000.0
+
+    def test_zero_length_outage_at_existing_breakpoint_no_inversion(self):
+        # The historical hazard: a zero-length outage at an existing
+        # breakpoint would insert duplicate times whose keep-last dedup
+        # could discard the wrong value.  It must be a pure no-op.
+        trace = CapacityTrace([0.0, 10.0], [1000.0, 400.0])
+        out = apply_outages(trace, [Outage(10.0, 0.0)])
+        assert out.value_at(10.0) == 400.0
+        assert list(out.times) == [0.0, 10.0]
+
+    def test_back_to_back_outages_stay_dark(self):
+        trace = CapacityTrace.constant(1000.0)
+        out = apply_outages(trace, [Outage(10.0, 10.0), Outage(20.0, 10.0)])
+        assert out.value_at(15.0) == 0.0
+        assert out.value_at(20.0) == 0.0  # no full-capacity sliver at the seam
+        assert out.value_at(29.999) == 0.0
+        assert out.value_at(30.0) == 1000.0
+
+
+class TestFlappingWindows:
+    def test_duty_cycle_shape(self):
+        windows = flapping_windows(100.0, 120.0, period=60.0, duty=0.5)
+        assert [(w.start, w.end) for w in windows] == [
+            (100.0, 130.0),
+            (160.0, 190.0),
+        ]
+        assert all(w.is_blackout for w in windows)
+
+    def test_final_window_clipped(self):
+        windows = flapping_windows(0.0, 70.0, period=60.0, duty=0.5)
+        assert [(w.start, w.end) for w in windows] == [(0.0, 30.0), (60.0, 70.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            flapping_windows(0.0, 100.0, period=0.0, duty=0.5)
+        with pytest.raises(ValueError):
+            flapping_windows(0.0, 100.0, period=60.0, duty=1.0)
+
+
+class TestCompileFaultPlan:
+    LINKS = dict(
+        direct_link="wan:eBay->Italy",
+        overlay_link="wan:relay0->Italy",
+        egress_links=["wan:eBay->relay0", "wan:eBay->relay1"],
+    )
+
+    def test_none_is_empty(self):
+        assert compile_fault_plan("none", "mild", onset=10.0, **self.LINKS) == {}
+
+    def test_gray_targets_both_transfer_paths(self):
+        plan = compile_fault_plan("gray", "severe", onset=10.0, **self.LINKS)
+        assert set(plan) == {"wan:eBay->Italy", "wan:relay0->Italy"}
+        p = intensity_params("severe")
+        for windows in plan.values():
+            assert [(w.start, w.duration, w.factor) for w in windows] == [
+                (10.0, p.duration, p.gray_factor)
+            ]
+
+    def test_correlated_takes_down_shared_egress_bundle(self):
+        plan = compile_fault_plan("correlated", "mild", onset=5.0, **self.LINKS)
+        assert list(plan) == [
+            "wan:eBay->Italy",
+            "wan:eBay->relay0",
+            "wan:eBay->relay1",
+        ]
+        assert all(w.is_blackout for ws in plan.values() for w in ws)
+
+    def test_partition_severs_primary_ingress_only(self):
+        plan = compile_fault_plan("partition", "mild", onset=5.0, **self.LINKS)
+        assert list(plan) == ["wan:eBay->Italy", "wan:eBay->relay0"]
+
+    def test_flap_compiles_duty_cycle(self):
+        plan = compile_fault_plan("flap", "mild", onset=0.0, **self.LINKS)
+        p = intensity_params("mild")
+        n_expected = int(np.ceil(p.duration / p.flap_period))
+        assert len(plan["wan:eBay->Italy"]) == n_expected
+
+    def test_unknown_family_and_empty_egress(self):
+        with pytest.raises(ValueError, match="unknown fault family"):
+            compile_fault_plan("meteor", "mild", onset=0.0, **self.LINKS)
+        with pytest.raises(ValueError, match="egress_links"):
+            compile_fault_plan(
+                "correlated",
+                "mild",
+                direct_link="d",
+                overlay_link="o",
+                egress_links=[],
+                onset=0.0,
+            )
+
+    def test_all_families_compile(self):
+        for family in FAULT_FAMILIES:
+            for intensity in ("mild", "severe"):
+                compile_fault_plan(family, intensity, onset=1.0, **self.LINKS)
+
+
+class TestSpans:
+    def test_blackout_spans_exclude_gray(self):
+        plan = {
+            "a": [FaultWindow(10.0, 10.0, 0.0), FaultWindow(30.0, 10.0, 0.5)],
+            "b": [FaultWindow(0.0, 0.0, 0.0)],  # zero-length: excluded
+        }
+        assert blackout_spans(plan) == {"a": [(10.0, 20.0)]}
+
+    def test_plan_spans_fuse_across_links(self):
+        plan = {
+            "a": [FaultWindow(10.0, 10.0, 0.0)],
+            "b": [FaultWindow(15.0, 10.0, 0.5), FaultWindow(40.0, 5.0, 0.0)],
+        }
+        assert plan_spans(plan) == [(10.0, 25.0), (40.0, 45.0)]
+
+    def test_degraded_seconds_clips_to_interval(self):
+        spans = [(10.0, 25.0), (40.0, 45.0)]
+        assert degraded_seconds(spans, 0.0, 100.0) == 20.0
+        assert degraded_seconds(spans, 20.0, 42.0) == 7.0
+        assert degraded_seconds(spans, 26.0, 39.0) == 0.0
+        with pytest.raises(ValueError):
+            degraded_seconds(spans, 10.0, 5.0)
+
+
+# --------------------------------------------------------------------------- #
+# engine identity over fault-rewritten traces
+# --------------------------------------------------------------------------- #
+def _run_engines(links, flow_specs):
+    """Run both engines over identical faulted links; return observables."""
+    results = []
+    for vector in (False, True):
+        sim = Simulator()
+        net = FluidNetwork(sim, vector=vector)
+        completions = {}
+        handles = []
+        for i, (route_idx, size, delay) in enumerate(flow_specs):
+            name = f"f{i}"
+            handles.append(
+                net.start_flow(
+                    Route([links[j] for j in route_idx]),
+                    size,
+                    name=name,
+                    on_complete=lambda fl, n=name, s=sim: completions.__setitem__(
+                        n, s.now
+                    ),
+                    activation_delay=delay,
+                )
+            )
+        sim.run()
+        results.append((completions, [f.delivered for f in handles]))
+    return results
+
+
+class TestEngineIdentityUnderFaults:
+    """Vector engine must match the oracle bitwise on faulted traces."""
+
+    def _links(self, windows_by_index):
+        base = CapacityTrace([0.0, 60.0], [2.0e6, 1.0e6])
+        links = []
+        for i in range(4):
+            trace = apply_fault_windows(base, windows_by_index.get(i, []))
+            links.append(Link(f"l{i}", f"a{i}", f"b{i}", trace, delay=0.01))
+        return links
+
+    FLOWS = [
+        ((0, 1), 5.0e6, 0.0),
+        ((1, 2), 8.0e6, 2.0),
+        ((2, 3), 3.0e6, 5.0),
+        ((0, 3), 6.0e6, 11.0),
+    ]
+
+    def test_gray_window_identity(self):
+        links = self._links({1: [FaultWindow(4.0, 30.0, factor=0.1)]})
+        classic, vector = _run_engines(links, self.FLOWS)
+        assert vector == classic
+
+    def test_blackout_window_identity(self):
+        links = self._links({0: [FaultWindow(3.0, 20.0, factor=0.0)]})
+        classic, vector = _run_engines(links, self.FLOWS)
+        assert vector == classic
+
+    def test_flap_identity(self):
+        flaps = flapping_windows(2.0, 40.0, period=8.0, duty=0.5)
+        links = self._links({2: flaps})
+        classic, vector = _run_engines(links, self.FLOWS)
+        assert vector == classic
+
+    def test_correlated_multi_link_identity(self):
+        black = [FaultWindow(6.0, 25.0, factor=0.0)]
+        gray = [FaultWindow(6.0, 25.0, factor=0.2)]
+        links = self._links({0: black, 1: black, 3: gray})
+        classic, vector = _run_engines(links, self.FLOWS)
+        assert vector == classic

@@ -24,7 +24,10 @@ class TestOutage:
         with pytest.raises(ValueError):
             Outage(-1.0, 5.0)
         with pytest.raises(ValueError):
-            Outage(1.0, 0.0)
+            Outage(1.0, -0.5)
+        # Zero-length outages are legal degenerate no-ops: fault-plan
+        # arithmetic (clipping to a horizon, duty cycles) produces them.
+        assert Outage(1.0, 0.0).end == 1.0
 
 
 class TestApplyOutages:

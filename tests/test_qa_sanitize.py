@@ -322,3 +322,91 @@ class TestSessionResultChecks:
         sanitizer = Sanitizer(mode="collect")
         sanitizer.check_session_result(self._result(bytes_received=2000.0))
         assert [v.code for v in sanitizer.violations] == ["QA-R005"]
+
+
+class TestFaultWindowBlackout:
+    """QA-R006: no bytes cross a registered blackout during its window."""
+
+    def _check(self, sanitizer, now, *, capacity=0.0, rate=0.0):
+        sanitizer.check_allocation(
+            now,
+            np.array([capacity]),
+            np.array([[True]]),
+            np.array([np.inf]),
+            np.array([rate]),
+            ["wan:site->client"],
+        )
+
+    def test_load_during_blackout_fires(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.watch_fault_windows({"wan:site->client": [(10.0, 20.0)]})
+        self._check(sanitizer, 15.0, capacity=0.0, rate=5.0)
+        assert [v.code for v in sanitizer.violations] == ["QA-R006"]
+
+    def test_capacity_during_blackout_fires(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.watch_fault_windows({"wan:site->client": [(10.0, 20.0)]})
+        self._check(sanitizer, 15.0, capacity=900.0, rate=0.0)
+        assert [v.code for v in sanitizer.violations] == ["QA-R006"]
+
+    def test_outside_window_is_silent(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.watch_fault_windows({"wan:site->client": [(10.0, 20.0)]})
+        self._check(sanitizer, 20.0, capacity=900.0, rate=900.0)  # end excluded
+        self._check(sanitizer, 5.0, capacity=900.0, rate=900.0)
+        assert sanitizer.violations == []
+
+    def test_unwatched_link_is_silent(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.watch_fault_windows({"wan:other": [(0.0, 100.0)]})
+        self._check(sanitizer, 15.0, capacity=900.0, rate=900.0)
+        assert sanitizer.violations == []
+
+    def test_registrations_accumulate(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.watch_fault_windows({"wan:site->client": [(0.0, 5.0)]})
+        sanitizer.watch_fault_windows({"wan:site->client": [(10.0, 20.0)]})
+        self._check(sanitizer, 12.0, capacity=0.0, rate=3.0)
+        assert [v.code for v in sanitizer.violations] == ["QA-R006"]
+
+
+class TestRecoveryBytesMonotone:
+    """QA-R007: recovery-timeline byte snapshots never regress."""
+
+    def _result(self, events):
+        from repro.core.session import SessionResult
+
+        return SessionResult(
+            client="C", server="S", resource="/f", size=1.0e6,
+            offered=("R1",), selected_via="R1",
+            requested_at=0.0, completed_at=100.0,
+            recovery_events=events, bytes_received=1.0e6,
+        )
+
+    def _event(self, time, kind, received):
+        from repro.core.resilience import RecoveryEvent
+
+        return RecoveryEvent(
+            time=time, kind=kind, path="R1", bytes_received=received
+        )
+
+    def test_regressing_snapshot_fires(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.check_session_result(
+            self._result((
+                self._event(10.0, "stall", 500_000.0),
+                self._event(20.0, "failover", 200_000.0),
+            ))
+        )
+        assert [v.code for v in sanitizer.violations] == ["QA-R007"]
+
+    def test_monotone_timeline_is_silent(self):
+        sanitizer = Sanitizer(mode="collect")
+        sanitizer.check_session_result(
+            self._result((
+                self._event(10.0, "stall", 200_000.0),
+                self._event(20.0, "failover", 200_000.0),
+                self._event(40.0, "reprobe", 700_000.0),
+            ))
+        )
+        assert sanitizer.violations == []

@@ -160,14 +160,46 @@ class TestCorruptionTolerance:
         done = store.completed_units()
         assert sorted(done) == [0, 1]
 
-    def test_corrupt_middle_line_raises(self, tmp_path, plan):
+    def test_corrupt_middle_line_quarantines_shard(self, tmp_path, plan):
         store = self._store_with_units(tmp_path, plan, 3)
         path = store.shard_path(store.shard_of(0))
         lines = path.read_text(encoding="utf-8").strip("\n").split("\n")
         lines[0] = '{"garbage": true}'
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
-        with pytest.raises(CheckpointError, match="corrupt checkpoint shard"):
-            store.completed_units()
+        done = store.completed_units()
+        # The whole damaged shard is dropped (its units re-execute);
+        # units in other shards are untouched ...
+        assert all(store.shard_of(i) != store.shard_of(0) for i in done)
+        assert 0 not in done and 1 not in done
+        # ... the file is moved aside for post-mortem inspection ...
+        assert not path.exists()
+        q = store.quarantines
+        assert len(q) == 1
+        assert q[0].shard == str(path)
+        assert q[0].line == 1
+        assert path.with_name(path.name + ".quarantined").exists()
+        assert q[0].quarantined_to == str(path.with_name(path.name + ".quarantined"))
+        assert "re-execute" in str(q[0])
+        # ... and a fresh read of the directory is clean.
+        assert store.completed_units() == done
+        assert store.quarantines == []
+
+    def test_second_quarantine_never_clobbers_first(self, tmp_path, plan):
+        store = self._store_with_units(tmp_path, plan, 3)
+        path = store.shard_path(store.shard_of(0))
+        original = path.read_text(encoding="utf-8")
+
+        def corrupt():
+            lines = original.strip("\n").split("\n")
+            lines[0] = "not json at all"
+            path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        corrupt()
+        store.completed_units()
+        corrupt()
+        store.completed_units()
+        assert path.with_name(path.name + ".quarantined").exists()
+        assert path.with_name(path.name + ".quarantined.1").exists()
 
 
 class TestMerge:

@@ -35,6 +35,8 @@ __all__ = [
     "availability_by_mode",
     "recovery_times",
     "goodput_under_failure",
+    "byte_unavailability",
+    "duplicate_waste_fraction",
     "render_availability",
     "StripeDegradationStats",
     "stripe_degradation_stats",
@@ -117,6 +119,41 @@ def goodput_under_failure(records: Sequence[FailureRecord]) -> List[float]:
         else:
             out.append(r.bytes_received / r.selected_duration)
     return out
+
+
+def byte_unavailability(records: Sequence) -> float:
+    """``1 - delivered/requested`` over any records with byte accounting.
+
+    Works on every record type that carries ``file_bytes`` and
+    ``bytes_received`` (failure, stripe and chaos rows alike), so the SLO
+    layer can evaluate the byte-weighted cost of failures without caring
+    which study produced the artefact.  NaN when nothing was requested.
+    """
+    requested = sum(float(getattr(r, "file_bytes", 0.0)) for r in records)
+    if requested <= 0.0:
+        return math.nan
+    delivered = sum(
+        min(float(getattr(r, "bytes_received", 0.0)), float(getattr(r, "file_bytes", 0.0)))
+        for r in records
+    )
+    return 1.0 - delivered / requested
+
+
+def duplicate_waste_fraction(records: Sequence) -> float:
+    """Duplicate bytes fetched per requested byte, over striping rows.
+
+    Sums ``wasted_bytes`` across records that carry the field (stripe
+    sessions; plain rows waste nothing by construction) against the total
+    requested bytes of those same rows.  NaN when no row carries byte
+    waste accounting - "no striping ran" is not the same claim as "zero
+    waste", and the SLO evaluator treats NaN as a failed objective.
+    """
+    striped = [r for r in records if hasattr(r, "wasted_bytes")]
+    requested = sum(float(getattr(r, "file_bytes", 0.0)) for r in striped)
+    if requested <= 0.0:
+        return math.nan
+    wasted = sum(float(getattr(r, "wasted_bytes", 0.0)) for r in striped)
+    return wasted / requested
 
 
 def availability_stats(records: Sequence[FailureRecord]) -> AvailabilityStats:

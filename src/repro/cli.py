@@ -441,6 +441,115 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="output path (default: stdout)",
     )
+    phases = obs_sub.add_parser(
+        "phases",
+        help="critical-path attribution: decompose each session into "
+        "probe/stall/backoff/straggle/transfer phases",
+    )
+    phases.add_argument("trace", help="obs JSONL trace path")
+    phases.add_argument(
+        "--quantile",
+        type=float,
+        default=0.99,
+        help="tail quantile for the attribution summary (default 0.99)",
+    )
+    diff = obs_sub.add_parser(
+        "diff",
+        help="align two traces and report drift; exit 0 clean, 1 drift "
+        "(wall-clock runner records are reported but never gated)",
+    )
+    diff.add_argument("trace_a", help="baseline obs JSONL trace")
+    diff.add_argument("trace_b", help="candidate obs JSONL trace")
+    diff.add_argument(
+        "--duration-rel",
+        type=float,
+        default=0.0,
+        help="relative tolerance on per-category span durations (default 0)",
+    )
+    diff.add_argument(
+        "--duration-abs",
+        type=float,
+        default=0.0,
+        help="absolute tolerance (seconds) on span durations (default 0)",
+    )
+    diff.add_argument(
+        "--counter-rel",
+        type=float,
+        default=0.0,
+        help="relative tolerance on counters/gauges (default 0)",
+    )
+    diff.add_argument(
+        "--counter-abs",
+        type=float,
+        default=0.0,
+        help="absolute tolerance on counters/gauges (default 0)",
+    )
+    diff.add_argument(
+        "--quantile-rel",
+        type=float,
+        default=0.0,
+        help="relative tolerance on histogram sum/p50/p99 (default 0)",
+    )
+    diff.add_argument(
+        "--include-wallclock",
+        action="store_true",
+        help="gate executor-domain (wall-clock) records and runner.* "
+        "metrics too (nondeterministic across runs; off by default)",
+    )
+    diff.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also list matching quantities",
+    )
+    slo = obs_sub.add_parser(
+        "slo",
+        help="evaluate a declarative SLO spec against a campaign artefact "
+        "and/or obs trace; exit 0 pass, 1 violation",
+    )
+    slo.add_argument("spec", help="SLO spec path (TOML subset; see DESIGN.md §14)")
+    slo.add_argument(
+        "--records",
+        default=None,
+        metavar="FILE",
+        help="campaign artefact JSONL (chaos/failures/mhttp rows)",
+    )
+    slo.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="obs JSONL trace for trace-derived metrics",
+    )
+    health = obs_sub.add_parser(
+        "report",
+        help="render a self-contained HTML campaign health report "
+        "(phase attribution, histogram sparklines, SLO table)",
+    )
+    health.add_argument("trace", help="obs JSONL trace path")
+    health.add_argument(
+        "--out",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="output path (default: <trace>.health.html)",
+    )
+    health.add_argument(
+        "--slo",
+        default=None,
+        metavar="FILE",
+        help="SLO spec to evaluate and include in the report",
+    )
+    health.add_argument(
+        "--records",
+        default=None,
+        metavar="FILE",
+        help="campaign artefact JSONL for record-based SLO metrics",
+    )
+    health.add_argument(
+        "--title",
+        default="campaign health",
+        help='report title (default "campaign health")',
+    )
     return parser
 
 
@@ -1167,19 +1276,104 @@ def _cmd_perf(args) -> int:
     return 1 if any(c.regressed for c in comparisons) else 0
 
 
+def _load_obs_trace(path: str):
+    """Load an obs trace, mapping load failures onto exit-code-2 errors."""
+    from repro.obs.export import ObsTrace
+
+    try:
+        return ObsTrace.load_jsonl(path)
+    except FileNotFoundError:
+        raise _UsageError(f"trace {path!r} not found")
+    except ValueError as exc:
+        raise _UsageError(str(exc))
+
+
+def _load_records(path: str):
+    """Load a campaign artefact's records for the SLO evaluator."""
+    from repro.trace.store import TraceStore
+
+    try:
+        return TraceStore.load_jsonl(path).records
+    except FileNotFoundError:
+        raise _UsageError(f"records {path!r} not found")
+    except (ValueError, KeyError, TypeError) as exc:
+        raise _UsageError(f"cannot load records {path!r}: {exc}")
+
+
 def _cmd_obs(args) -> int:
     import json
 
-    from repro.obs.export import ObsTrace, validate_chrome_trace
+    from repro.obs.export import validate_chrome_trace
 
-    try:
-        trace = ObsTrace.load_jsonl(args.trace)
-    except FileNotFoundError:
-        print(f"error: trace {args.trace!r} not found", file=sys.stderr)
-        return 2
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    if args.obs_command == "diff":
+        from repro.obs.diff import DiffTolerances, diff_traces, render_diff
+
+        trace_a = _load_obs_trace(args.trace_a)
+        trace_b = _load_obs_trace(args.trace_b)
+        for name in ("duration_rel", "duration_abs", "counter_rel",
+                     "counter_abs", "quantile_rel"):
+            if getattr(args, name) < 0.0:
+                raise _UsageError(f"--{name.replace('_', '-')} must be >= 0")
+        diff = diff_traces(
+            trace_a,
+            trace_b,
+            DiffTolerances(
+                counter_rel=args.counter_rel,
+                counter_abs=args.counter_abs,
+                duration_rel=args.duration_rel,
+                duration_abs=args.duration_abs,
+                quantile_rel=args.quantile_rel,
+            ),
+            include_wallclock=args.include_wallclock,
+        )
+        print(render_diff(diff, verbose=args.verbose))
+        return 0 if diff.clean else 1
+    if args.obs_command == "slo":
+        from repro.obs.slo import evaluate_slo, load_slo_spec, render_slo
+
+        try:
+            spec = load_slo_spec(args.spec)
+        except FileNotFoundError:
+            raise _UsageError(f"spec {args.spec!r} not found")
+        except ValueError as exc:
+            raise _UsageError(str(exc))
+        records = _load_records(args.records) if args.records else None
+        trace = _load_obs_trace(args.trace) if args.trace else None
+        report = evaluate_slo(spec, records=records, trace=trace)
+        print(render_slo(report))
+        return 0 if report.clean else 1
+    if args.obs_command == "report":
+        from repro.obs.report import render_report
+        from repro.obs.slo import evaluate_slo, load_slo_spec
+
+        trace = _load_obs_trace(args.trace)
+        slo_report = None
+        if args.slo:
+            try:
+                spec = load_slo_spec(args.slo)
+            except FileNotFoundError:
+                raise _UsageError(f"spec {args.slo!r} not found")
+            except ValueError as exc:
+                raise _UsageError(str(exc))
+            records = _load_records(args.records) if args.records else None
+            slo_report = evaluate_slo(spec, records=records, trace=trace)
+        html = render_report(trace, title=args.title, slo=slo_report)
+        out = args.out if args.out else args.trace + ".health.html"
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(html)
+        print(f"wrote campaign health report to {out}")
+        return 0
+    if args.obs_command == "phases":
+        from repro.obs.insight import attribute_trace, render_insight
+
+        if not 0.0 < args.quantile <= 1.0:
+            raise _UsageError("--quantile must be in (0, 1]")
+        trace = _load_obs_trace(args.trace)
+        sessions = attribute_trace(trace)
+        print(render_insight(sessions, quantiles=(0.5, args.quantile)))
+        return 0
+
+    trace = _load_obs_trace(args.trace)
     if args.obs_command == "summarize":
         print(trace.summarize(top=args.top))
         return 0

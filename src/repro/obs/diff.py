@@ -1,0 +1,254 @@
+"""Cross-run trace diffing: attribute drift to a subsystem, not a number.
+
+``repro obs diff A B`` aligns two :class:`~repro.obs.export.ObsTrace`
+files on three axes and reports what moved:
+
+* **spans** - per ``(category, track)``: record count and summed duration
+  (drift here names the subsystem: ``transfer`` vs ``probe`` vs ``tick``);
+* **counters / gauges** - by metric name;
+* **histograms** - by metric name: observation count, sum, and the
+  p50/p99 bucket-edge quantiles.
+
+Two identical-seed runs produce byte-identical sim-domain traces, so the
+default tolerances are *zero* and CI can gate on the exit code.  The
+wall-clock domain (executor ``unit`` spans, ``runner.*`` metrics) is
+nondeterministic by design and excluded unless explicitly included; it is
+reported but never gated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.obs.core import Histogram
+from repro.obs.export import ObsTrace
+from repro.obs.insight import WALLCLOCK_CATEGORIES, is_wallclock_metric
+
+__all__ = [
+    "DiffTolerances",
+    "DriftItem",
+    "TraceDiff",
+    "diff_traces",
+    "render_diff",
+]
+
+_QUANTILES = (0.5, 0.99)
+
+
+@dataclass(frozen=True)
+class DiffTolerances:
+    """Per-axis drift tolerances (all zero: require identical traces).
+
+    Relative tolerances compare ``|b - a|`` against ``rel * max(|a|, |b|)``;
+    absolute tolerances are in the metric's own unit.  A delta within
+    *either* bound is clean.
+    """
+
+    counter_rel: float = 0.0
+    counter_abs: float = 0.0
+    duration_rel: float = 0.0
+    duration_abs: float = 0.0
+    quantile_rel: float = 0.0
+
+    def within(self, a: float, b: float, *, rel: float, abs_tol: float) -> bool:
+        if a == b:
+            return True
+        if math.isnan(a) and math.isnan(b):
+            return True
+        delta = abs(b - a)
+        return delta <= abs_tol or delta <= rel * max(abs(a), abs(b))
+
+
+@dataclass(frozen=True)
+class DriftItem:
+    """One aligned quantity and its delta between the two traces."""
+
+    axis: str  # "span" | "counter" | "gauge" | "histogram"
+    name: str  # span category for spans, metric name otherwise
+    stat: str  # "count" | "duration" | "value" | "sum" | "p50" | "p99"
+    a: float
+    b: float
+    within: bool
+    gated: bool  # False for wall-clock-domain items (reported, not gated)
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+
+@dataclass
+class TraceDiff:
+    """All aligned quantities; ``clean`` gates on the sim-time domain."""
+
+    items: List[DriftItem] = field(default_factory=list)
+
+    @property
+    def drifted(self) -> List[DriftItem]:
+        return [i for i in self.items if i.gated and not i.within]
+
+    @property
+    def clean(self) -> bool:
+        return not self.drifted
+
+    def drift_categories(self) -> List[str]:
+        """Span categories with gated drift, most-moved first."""
+        moved: Dict[str, float] = {}
+        for item in self.drifted:
+            if item.axis == "span":
+                moved[item.name] = max(moved.get(item.name, 0.0), abs(item.delta))
+        return [c for c, _ in sorted(moved.items(), key=lambda kv: (-kv[1], kv[0]))]
+
+
+def _span_rollup(trace: ObsTrace) -> Dict[str, Tuple[int, float]]:
+    # Keyed by category only: which *track* (worker) a span landed on is
+    # executor placement and changes with --jobs, while per-category counts
+    # and sim-time totals are invariant for an identical-seed campaign.
+    out: Dict[str, Tuple[int, float]] = {}
+    for rec in trace.records:
+        if rec.kind != "span":
+            continue
+        n, total = out.get(rec.category, (0, 0.0))
+        end = rec.end if rec.end is not None else rec.start
+        out[rec.category] = (n + 1, total + (end - rec.start))
+    return out
+
+
+def _hist_stats(hist: Histogram) -> Dict[str, float]:
+    stats = {"count": float(hist.total), "sum": hist.sum}
+    for q in _QUANTILES:
+        stats[f"p{int(100 * q)}"] = hist.quantile(q)
+    return stats
+
+
+def diff_traces(
+    a: ObsTrace,
+    b: ObsTrace,
+    tolerances: DiffTolerances = DiffTolerances(),
+    *,
+    include_wallclock: bool = False,
+) -> TraceDiff:
+    """Align ``a`` and ``b`` and report every delta.
+
+    Quantities absent from one side compare against 0 (a missing counter
+    is a drift of its full value).  ``include_wallclock=True`` gates the
+    executor-domain items too - only meaningful when both traces were
+    produced by the same ``--jobs`` configuration *and* wall-clock noise
+    is acceptable; the default reports them ungated.
+    """
+    diff = TraceDiff()
+    tol = tolerances
+
+    spans_a, spans_b = _span_rollup(a), _span_rollup(b)
+    for cat in sorted(set(spans_a) | set(spans_b)):
+        na, da = spans_a.get(cat, (0, 0.0))
+        nb, db = spans_b.get(cat, (0, 0.0))
+        gated = include_wallclock or cat not in WALLCLOCK_CATEGORIES
+        name = cat
+        diff.items.append(
+            DriftItem(
+                axis="span",
+                name=name,
+                stat="count",
+                a=float(na),
+                b=float(nb),
+                within=(na == nb),
+                gated=gated,
+            )
+        )
+        diff.items.append(
+            DriftItem(
+                axis="span",
+                name=name,
+                stat="duration",
+                a=da,
+                b=db,
+                within=tol.within(da, db, rel=tol.duration_rel, abs_tol=tol.duration_abs),
+                gated=gated,
+            )
+        )
+
+    for axis, da_map, db_map in (
+        ("counter", a.counters, b.counters),
+        ("gauge", a.gauges, b.gauges),
+    ):
+        for name in sorted(set(da_map) | set(db_map)):
+            va, vb = da_map.get(name, 0.0), db_map.get(name, 0.0)
+            gated = include_wallclock or not is_wallclock_metric(name)
+            diff.items.append(
+                DriftItem(
+                    axis=axis,
+                    name=name,
+                    stat="value",
+                    a=va,
+                    b=vb,
+                    within=tol.within(va, vb, rel=tol.counter_rel, abs_tol=tol.counter_abs),
+                    gated=gated,
+                )
+            )
+
+    empty = Histogram(bounds=(1.0,))
+    for name in sorted(set(a.histograms) | set(b.histograms)):
+        ha = a.histograms.get(name, empty)
+        hb = b.histograms.get(name, empty)
+        sa, sb = _hist_stats(ha), _hist_stats(hb)
+        gated = include_wallclock or not is_wallclock_metric(name)
+        for stat in sorted(sa):
+            va, vb = sa[stat], sb[stat]
+            if stat == "count":
+                within = va == vb
+            else:
+                within = tol.within(va, vb, rel=tol.quantile_rel, abs_tol=0.0)
+            diff.items.append(
+                DriftItem(
+                    axis="histogram",
+                    name=name,
+                    stat=stat,
+                    a=va,
+                    b=vb,
+                    within=within,
+                    gated=gated,
+                )
+            )
+    return diff
+
+
+def _fmt(v: float) -> str:
+    if math.isnan(v):
+        return "nan"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return f"{v:.6g}"
+
+
+def render_diff(diff: TraceDiff, *, verbose: bool = False) -> str:
+    """Human-readable diff report; drift first, clean lines under -v."""
+    lines: List[str] = []
+    drifted = diff.drifted
+    ungated = [i for i in diff.items if not i.gated and not i.within]
+    if diff.clean:
+        lines.append(f"zero drift: {len(diff.items)} aligned quantities match")
+    else:
+        cats = diff.drift_categories()
+        lines.append(
+            f"drift in {len(drifted)} of {len(diff.items)} aligned quantities"
+            + (f" (span categories: {', '.join(cats)})" if cats else "")
+        )
+        for item in drifted:
+            lines.append(
+                f"  DRIFT {item.axis:<9} {item.name} {item.stat}: "
+                f"{_fmt(item.a)} -> {_fmt(item.b)} (delta {_fmt(item.delta)})"
+            )
+    if ungated:
+        lines.append(
+            f"  ({len(ungated)} wall-clock-domain deltas ignored; "
+            "--include-wallclock gates them)"
+        )
+    if verbose:
+        for item in diff.items:
+            if item.within:
+                lines.append(
+                    f"  ok    {item.axis:<9} {item.name} {item.stat}: {_fmt(item.a)}"
+                )
+    return "\n".join(lines)

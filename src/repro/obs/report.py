@@ -1,0 +1,210 @@
+"""Campaign health report: one self-contained HTML page per campaign.
+
+``repro obs report trace.obs.jsonl -o health.html`` renders, without any
+external assets or JavaScript:
+
+* headline numbers (sessions, total sim time, outcome counters);
+* a phase-attribution stacked bar chart (per session group) plus the
+  p50/p99 tail attribution, via :mod:`repro.obs.insight`;
+* a sparkline per histogram (bucket-count profile with p50/p99);
+* the SLO pass/fail table when a spec was evaluated alongside.
+
+Everything is derived from sim-time trace content and rendered with
+deterministic iteration orders, so the report bytes are a pure function
+of its inputs - two identical-seed campaigns produce identical reports
+(the repo-wide byte-identity bar applies to diagnostics too).
+"""
+
+from __future__ import annotations
+
+import math
+from html import escape
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.export import ObsTrace
+from repro.obs.insight import (
+    PHASES,
+    SessionPhases,
+    attribute_trace,
+    phase_totals,
+    tail_attribution,
+)
+from repro.obs.slo import SloReport
+from repro.util.svg import svg_sparkline, svg_stacked_bars
+
+__all__ = ["render_report"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em auto; max-width: 60em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #ccc; padding: 4px 10px; text-align: right; }
+th { background: #f2f2f2; } td.l, th.l { text-align: left; }
+.pass { color: #007a33; font-weight: bold; } .fail { color: #b00020; font-weight: bold; }
+.muted { color: #777; }
+"""
+
+
+def _fmt(v: float, digits: int = 3) -> str:
+    if not math.isfinite(v):
+        return "n/a"
+    return f"{v:.{digits}f}"
+
+
+def _pct(v: float) -> str:
+    return "n/a" if not math.isfinite(v) else f"{100.0 * v:.1f}%"
+
+
+def _group_label(s: SessionPhases) -> str:
+    if s.stripe_k >= 2:
+        return f"stripe-k{s.stripe_k}"
+    return s.outcome or "session"
+
+
+def _phase_chart(sessions: Sequence[SessionPhases]) -> str:
+    groups: Dict[str, List[SessionPhases]] = {}
+    for s in sessions:
+        groups.setdefault(_group_label(s), []).append(s)
+    labels = sorted(groups)
+    layers: Dict[str, List[float]] = {
+        p: [phase_totals(groups[g])[p] for g in labels] for p in PHASES
+    }
+    # Drop all-zero layers so the legend only names phases that occurred.
+    layers = {p: vals for p, vals in layers.items() if any(v > 0.0 for v in vals)}
+    if not labels or not layers:
+        return '<p class="muted">no session spans in this trace</p>'
+    return svg_stacked_bars(
+        labels,
+        {p: layers[p] for p in PHASES if p in layers},
+        title="session time by phase",
+        xlabel="session group",
+        ylabel="seconds (sim)",
+    )
+
+
+def _headline_rows(trace: ObsTrace, sessions: Sequence[SessionPhases]) -> List[str]:
+    total = math.fsum(s.duration for s in sessions)
+    rows = [
+        ("sessions", f"{len(sessions)}"),
+        ("total session time", f"{_fmt(total)} s"),
+        ("trace records", f"{len(trace.records)}"),
+        ("records dropped", f"{trace.dropped}"),
+    ]
+    outcomes = sorted(
+        (name, value)
+        for name, value in trace.counters.items()
+        if name.startswith("session.outcome.")
+    )
+    for name, value in outcomes:
+        rows.append((name[len("session.outcome."):], f"{value:g}"))
+    return [
+        f'<tr><td class="l">{escape(k)}</td><td>{escape(v)}</td></tr>'
+        for k, v in rows
+    ]
+
+
+def _tail_table(sessions: Sequence[SessionPhases]) -> str:
+    parts = ['<table><tr><th class="l">quantile</th>']
+    parts.extend(f"<th>{escape(p)}</th>" for p in PHASES)
+    parts.append("</tr>")
+    for q in (0.5, 0.99):
+        tail = tail_attribution(sessions, q)
+        parts.append(f'<tr><td class="l">p{100 * q:g} ({tail.n_tail} sessions)</td>')
+        parts.extend(
+            f"<td>{escape(_pct(tail.fractions.get(p, math.nan)))}</td>" for p in PHASES
+        )
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _histogram_section(trace: ObsTrace) -> str:
+    if not trace.histograms:
+        return '<p class="muted">no histograms in this trace</p>'
+    parts = [
+        '<table><tr><th class="l">histogram</th><th>count</th><th>mean</th>'
+        "<th>p50</th><th>p99</th><th>profile</th></tr>"
+    ]
+    for name in sorted(trace.histograms):
+        hist = trace.histograms[name]
+        spark = svg_sparkline([float(c) for c in hist.counts])
+        parts.append(
+            f'<tr><td class="l">{escape(name)}</td><td>{hist.total}</td>'
+            f"<td>{escape(_fmt(hist.mean, 4))}</td>"
+            f"<td>{escape(_fmt(hist.quantile(0.5), 4))}</td>"
+            f"<td>{escape(_fmt(hist.quantile(0.99), 4))}</td>"
+            f"<td>{spark}</td></tr>"
+        )
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def _slo_section(slo: SloReport) -> str:
+    parts = [
+        f"<h2>SLO: {escape(slo.spec.name)}</h2>",
+        '<table><tr><th class="l">objective</th><th class="l">metric</th>'
+        "<th>measured</th><th class=\"l\">bounds</th><th>status</th></tr>",
+    ]
+    for res in slo.results:
+        obj = res.objective
+        bounds = []
+        if obj.min_value is not None:
+            bounds.append(f"&ge; {obj.min_value:g}")
+        if obj.max_value is not None:
+            bounds.append(f"&le; {obj.max_value:g}")
+        filt = (
+            " [" + ", ".join(f"{k}={v}" for k, v in sorted(obj.filters.items())) + "]"
+            if obj.filters
+            else ""
+        )
+        status = (
+            '<span class="pass">PASS</span>'
+            if res.passed
+            else '<span class="fail">FAIL</span>'
+        )
+        measured = _fmt(res.measured, 4) if math.isfinite(res.measured) else "n/a"
+        parts.append(
+            f'<tr><td class="l">{escape(obj.name)}</td>'
+            f'<td class="l">{escape(obj.metric + filt)}</td>'
+            f"<td>{escape(measured)}</td>"
+            f'<td class="l">{" and ".join(bounds)}</td>'
+            f"<td>{status}</td></tr>"
+        )
+    parts.append("</table>")
+    verdict = (
+        '<p class="pass">all objectives met</p>'
+        if slo.clean
+        else f'<p class="fail">{len(slo.violations)} objective(s) violated</p>'
+    )
+    parts.append(verdict)
+    return "".join(parts)
+
+
+def render_report(
+    trace: ObsTrace,
+    *,
+    title: str = "campaign health",
+    slo: Optional[SloReport] = None,
+) -> str:
+    """Render the self-contained HTML health report for ``trace``."""
+    sessions = attribute_trace(trace)
+    parts: List[str] = []
+    parts.append("<!DOCTYPE html>")
+    parts.append('<html lang="en"><head><meta charset="utf-8"/>')
+    parts.append(f"<title>{escape(title)}</title>")
+    parts.append(f"<style>{_STYLE}</style></head><body>")
+    parts.append(f"<h1>{escape(title)}</h1>")
+    parts.append("<h2>Headline</h2><table>")
+    parts.extend(_headline_rows(trace, sessions))
+    parts.append("</table>")
+    parts.append("<h2>Critical-path attribution</h2>")
+    parts.append(_phase_chart(sessions))
+    if sessions:
+        parts.append("<h3>tail attribution</h3>")
+        parts.append(_tail_table(sessions))
+    parts.append("<h2>Histograms</h2>")
+    parts.append(_histogram_section(trace))
+    if slo is not None:
+        parts.append(_slo_section(slo))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -105,6 +105,49 @@ class Comparison:
     #: current / stored: > 1 means the current run is slower.
     ratio: float
     regressed: bool
+    #: Span category whose cumulative time grew the most (relative), when
+    #: both reports carry ``--obs`` span summaries - names the subsystem a
+    #: regression lives in ("transfer", "tick", "probe", ...).
+    suspect_category: Optional[str] = None
+    #: Relative growth of the suspect category's cumulative span time.
+    suspect_growth: Optional[float] = None
+
+
+def _suspect_category(
+    current: Dict[str, Any], stored: Dict[str, Any]
+) -> Optional[tuple]:
+    """Largest relative growth in per-category span time, if knowable.
+
+    Both bench entries must carry an ``obs_summary`` block (written by
+    ``repro perf --obs``).  Categories absent from the stored run are
+    compared against a zero floor scaled to the smallest stored total, so
+    a brand-new hot category still surfaces.  Returns ``(category,
+    relative_growth)`` for the worst mover with positive growth, else
+    ``None``.
+    """
+    cur_spans = (current.get("obs_summary") or {}).get("spans")
+    old_spans = (stored.get("obs_summary") or {}).get("spans")
+    if not isinstance(cur_spans, dict) or not isinstance(old_spans, dict):
+        return None
+    old_totals = {
+        cat: float(entry.get("total_time", 0.0))
+        for cat, entry in old_spans.items()
+        if isinstance(entry, dict)
+    }
+    floor = min((v for v in old_totals.values() if v > 0.0), default=0.0)
+    best: Optional[tuple] = None
+    for cat, entry in cur_spans.items():
+        if not isinstance(entry, dict):
+            continue
+        cur_total = float(entry.get("total_time", 0.0))
+        old_total = old_totals.get(cat, 0.0)
+        denom = old_total if old_total > 0.0 else floor
+        if denom <= 0.0:
+            continue
+        growth = (cur_total - old_total) / denom
+        if growth > 0.0 and (best is None or growth > best[1]):
+            best = (cat, growth)
+    return best
 
 
 def compare_reports(
@@ -131,6 +174,8 @@ def compare_reports(
         if cur is None or old is None:
             continue
         ratio = cur / old
+        regressed = ratio > 1.0 + tolerance
+        suspect = _suspect_category(result, stored_result) if regressed else None
         out.append(
             Comparison(
                 name=name,
@@ -138,7 +183,9 @@ def compare_reports(
                 current=cur,
                 stored=old,
                 ratio=ratio,
-                regressed=ratio > 1.0 + tolerance,
+                regressed=regressed,
+                suspect_category=suspect[0] if suspect else None,
+                suspect_growth=suspect[1] if suspect else None,
             )
         )
     return out
@@ -243,6 +290,16 @@ def format_comparison(comparisons: List[Comparison], *, tolerance: float) -> str
             f"  {cmp_.name:<18} {_fmt_value(cmp_.current, cmp_.unit):>14} "
             f"{_fmt_value(cmp_.stored, cmp_.unit):>14} {cmp_.ratio:>6.2f}x  {status}"
         )
+        if cmp_.regressed and cmp_.suspect_category is not None:
+            lines.append(
+                f"  {'':<18} suspect: {cmp_.suspect_category!r} span time "
+                f"grew {cmp_.suspect_growth:+.0%} (per --obs span summary)"
+            )
+        elif cmp_.regressed:
+            lines.append(
+                f"  {'':<18} (run both sides with --obs to attribute the "
+                "regression to a span category)"
+            )
     n_reg = sum(1 for c in comparisons if c.regressed)
     lines.append(
         f"{n_reg} regression(s) in {len(comparisons)} compared bench(es)"

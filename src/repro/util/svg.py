@@ -18,7 +18,13 @@ from xml.sax.saxutils import escape
 
 import numpy as np
 
-__all__ = ["svg_histogram", "svg_line_chart", "svg_grouped_bars"]
+__all__ = [
+    "svg_histogram",
+    "svg_line_chart",
+    "svg_grouped_bars",
+    "svg_stacked_bars",
+    "svg_sparkline",
+]
 
 #: Categorical palette (colour-blind-safe Okabe-Ito subset).
 PALETTE = ("#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00")
@@ -274,3 +280,100 @@ def svg_grouped_bars(
     )
     canvas.legend(legend)
     return canvas.render()
+
+
+def svg_stacked_bars(
+    categories: Sequence[str],
+    layers: Dict[str, Sequence[float]],
+    *,
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render stacked vertical bars: one bar per category, layered.
+
+    ``layers`` maps each layer name to one value per category; stacking
+    follows the dict's insertion order (the campaign health report passes
+    phases in priority order so the chart reads like the attribution).
+    """
+    if not categories or not layers:
+        raise ValueError("need categories and at least one layer")
+    n_cat = len(categories)
+    for name, values in layers.items():
+        if len(values) != n_cat:
+            raise ValueError(f"layer {name!r} has {len(values)} values, "
+                             f"expected {n_cat}")
+    totals = [
+        sum(float(values[c]) for values in layers.values()) for c in range(n_cat)
+    ]
+    top = max(totals) if totals and max(totals) > 0 else 1.0
+    canvas = _Canvas((0.0, float(n_cat)), (0.0, top * 1.12))
+    slot = canvas.plot_w / n_cat
+    bar_w = slot * 0.64
+    legend = [
+        (name, PALETTE[i % len(PALETTE)]) for i, name in enumerate(layers)
+    ]
+    for c in range(n_cat):
+        x = _MARGIN["left"] + c * slot + (slot - bar_w) / 2
+        running = 0.0
+        for layer_idx, values in enumerate(layers.values()):
+            v = float(values[c])
+            if v <= 0:
+                continue
+            y_top = canvas.py(running + v)
+            y_bot = canvas.py(running)
+            canvas.add(
+                f'<rect x="{x:.1f}" y="{y_top:.1f}" width="{bar_w:.1f}" '
+                f'height="{max(y_bot - y_top, 0):.1f}" '
+                f'fill="{PALETTE[layer_idx % len(PALETTE)]}" fill-opacity="0.9"/>'
+            )
+            running += v
+    canvas.axes(
+        title=title,
+        xlabel=xlabel,
+        ylabel=ylabel,
+        x_ticks=[c + 0.5 for c in range(n_cat)],
+        y_ticks=_nice_ticks(0.0, top * 1.12),
+        x_tick_labels=list(categories),
+    )
+    canvas.legend(legend)
+    return canvas.render()
+
+
+def svg_sparkline(
+    values: Sequence[float],
+    *,
+    width: int = 140,
+    height: int = 32,
+    color: str = PALETTE[0],
+) -> str:
+    """Render a tiny inline sparkline (no axes) over ``values``.
+
+    Used by the campaign health report for histogram bucket profiles;
+    returns an ``<svg>`` element sized to sit inside a table cell.  An
+    empty or all-zero series renders as a flat baseline.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        vals = [0.0]
+    top = max(vals)
+    if top <= 0.0:
+        top = 1.0
+    n = len(vals)
+    pad = 2.0
+    span_x = width - 2 * pad
+    span_y = height - 2 * pad
+    pts = []
+    for i, v in enumerate(vals):
+        x = pad + (span_x * i / max(n - 1, 1))
+        y = pad + span_y * (1.0 - v / top)
+        pts.append(f"{x:.1f},{y:.1f}")
+    baseline = height - pad
+    area = " ".join([f"{pad:.1f},{baseline:.1f}"] + pts + [f"{pad + span_x:.1f},{baseline:.1f}"])
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+        f'<polygon points="{area}" fill="{color}" fill-opacity="0.25"/>'
+        f'<polyline points="{" ".join(pts)}" fill="none" stroke="{color}" '
+        'stroke-width="1.5"/></svg>'
+    )

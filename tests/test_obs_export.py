@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.obs.core import Observer
+from repro.obs.core import Histogram, Observer
 from repro.obs.export import ObsTrace, validate_chrome_trace
 
 
@@ -145,3 +145,121 @@ class TestSummarize:
     def test_empty_trace(self):
         text = ObsTrace.from_observer(Observer()).summarize()
         assert "0 records" in text
+
+
+class TestMergeTieBreak:
+    def test_equal_sort_keys_keep_shard_order(self):
+        # Two shards on the *same* track emit records with identical
+        # (start, track, seq): the stable sort must preserve the order the
+        # shards were merged in.
+        a, b = Observer(), Observer()
+        a.span("tick", "from-shard-a", 1.0, 2.0)
+        b.span("tick", "from-shard-b", 1.0, 2.0)
+        ta, tb = ObsTrace.from_observer(a), ObsTrace.from_observer(b)
+        assert ta.records[0].sort_key == tb.records[0].sort_key
+        merged = ObsTrace.merge([ta, tb])
+        assert [r.name for r in merged.records] == ["from-shard-a", "from-shard-b"]
+        flipped = ObsTrace.merge([tb, ta])
+        assert [r.name for r in flipped.records] == ["from-shard-b", "from-shard-a"]
+
+    def test_distinct_tracks_order_by_track_on_time_tie(self):
+        a = Observer(track="worker-1")
+        b = Observer(track="worker-0")
+        a.span("tick", "x", 1.0, 2.0)
+        b.span("tick", "x", 1.0, 2.0)
+        merged = ObsTrace.merge(
+            [ObsTrace.from_observer(a), ObsTrace.from_observer(b)]
+        )
+        assert [r.track for r in merged.records] == ["worker-0", "worker-1"]
+
+
+class TestHistogramQuantileEdges:
+    def _hist(self, *samples):
+        h = Histogram([1.0, 10.0, 100.0])
+        for s in samples:
+            h.observe(s)
+        return h
+
+    def test_empty_histogram_quantile_is_zero(self):
+        h = self._hist()
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_q0_and_q1_edges(self):
+        h = self._hist(0.5, 5.0, 50.0)
+        # q=0 is the first bucket's upper edge, clamped up to the min...
+        assert h.quantile(0.0) == 1.0
+        # ...and q=1 is the last occupied edge, clamped down to the max.
+        assert h.quantile(1.0) == 50.0
+
+    def test_q0_clamps_up_to_observed_min(self):
+        h = self._hist(5.0, 50.0)  # first bucket (<= 1.0) is empty
+        assert h.quantile(0.0) == 5.0
+
+    def test_single_sample_all_quantiles_collapse(self):
+        h = self._hist(7.0)
+        assert h.quantile(0.0) == h.quantile(0.5) == h.quantile(1.0) == 7.0
+
+    def test_quantile_clamped_to_observed_range(self):
+        # Bucket-edge estimates can exceed the true extremes; the clamp to
+        # [min, max] keeps them honest.
+        h = self._hist(2.0, 3.0)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert 2.0 <= h.quantile(q) <= 3.0
+
+    def test_out_of_range_q_rejected(self):
+        h = self._hist(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.1)
+
+
+class TestPrometheusParseBack:
+    def test_round_trip_is_byte_identical(self):
+        trace = ObsTrace.from_observer(make_observer())
+        text = trace.to_prometheus()
+        back = ObsTrace.from_prometheus(text)
+        # Exposition names are sanitised (dots become underscores), so the
+        # guarantee is byte-identical *re-export*, not identical keys.
+        assert back.to_prometheus() == text
+        assert back.counters == {"engine_ticks": 3.0}
+        assert back.gauges == {"sim_queue_depth": 4.0}
+        hist = back.histograms["runner_queue_wait_seconds"]
+        assert hist.total == 1
+        assert hist.sum == 0.25
+
+    def test_decumulates_bucket_counts(self):
+        obs = Observer()
+        for v in (0.5, 5.0, 5.0, 50.0):
+            obs.observe_value("session.duration", v)
+        back = ObsTrace.from_prometheus(ObsTrace.from_observer(obs).to_prometheus())
+        orig = obs.histograms["session.duration"]
+        assert back.histograms["session_duration"].counts == orig.counts
+
+    def test_garbage_line_raises(self):
+        with pytest.raises(ValueError):
+            ObsTrace.from_prometheus("repro_x{bad\n")
+
+    def test_decreasing_cumulative_counts_raise(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ValueError):
+            ObsTrace.from_prometheus(text)
+
+    def test_count_mismatch_raises(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            'repro_h_bucket{le="+Inf"} 2\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 9\n"
+        )
+        with pytest.raises(ValueError):
+            ObsTrace.from_prometheus(text)

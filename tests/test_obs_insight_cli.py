@@ -1,0 +1,178 @@
+"""CLI surface of the insight layer: obs phases/diff/slo/report + --obs wiring.
+
+Complements ``test_obs_identity.py`` (which proves obs never changes study
+artefacts) with the analytics subcommands and the ``--obs`` flag on the
+mhttp / chaos / scale studies.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.core import Observer
+from repro.obs.export import ObsTrace
+
+from tests.test_obs_identity import _run  # the shared env-pinned CLI driver
+
+CHAOS_ARGS = ["chaos", "--quick", "--jobs", "1"]
+MHTTP_ARGS = ["mhttp", "--quick", "--jobs", "1"]
+SCALE_ARGS = ["scale", "--clients", "80", "--waves", "1"]
+
+
+@pytest.fixture(scope="module")
+def chaos_run(tmp_path_factory):
+    """One quick chaos campaign with --obs: (records path, trace path)."""
+    root = tmp_path_factory.mktemp("chaos")
+    out = root / "chaos.jsonl"
+    _run(CHAOS_ARGS + ["--out", str(out), "--obs"])
+    return str(out), str(out) + ".obs.jsonl"
+
+
+def _synthetic_trace(path, *, rate=1.0):
+    obs = Observer()
+    obs.span("probe", "probe:R1", 0.0, 0.5, won=True)
+    obs.span("transfer", "remainder:R1", 0.5, 8.0 / rate, path="R1")
+    obs.span("session", "C->S", 0.0, 8.0 / rate, outcome="completed")
+    obs.count("session.outcome.completed")
+    ObsTrace.from_observer(obs).save_jsonl(str(path))
+    return str(path)
+
+
+class TestObsFlagOnStudies:
+    """Satellite: every study subcommand takes --obs / --obs-out."""
+
+    @pytest.mark.parametrize(
+        # The population engine is struct-of-arrays: no per-session spans,
+        # but the engine's tick spans and counters still land in the trace.
+        ("argv", "category"),
+        [(MHTTP_ARGS, "session"), (CHAOS_ARGS, "session"), (SCALE_ARGS, "tick")],
+    )
+    def test_obs_writes_sidecar_trace(self, argv, category, tmp_path):
+        out = tmp_path / "study.jsonl"
+        _run(argv + ["--out", str(out), "--obs"])
+        trace = ObsTrace.load_jsonl(str(out) + ".obs.jsonl")
+        assert trace.records
+        assert any(r.category == category for r in trace.records)
+
+    def test_obs_out_overrides_path(self, tmp_path):
+        out = tmp_path / "study.jsonl"
+        sidecar = tmp_path / "custom.obs.jsonl"
+        _run(MHTTP_ARGS + ["--out", str(out), "--obs", "--obs-out", str(sidecar)])
+        assert sidecar.exists()
+        assert not os.path.exists(str(out) + ".obs.jsonl")
+
+    @pytest.mark.parametrize("argv", [MHTTP_ARGS, CHAOS_ARGS, SCALE_ARGS])
+    def test_artefact_bytes_unchanged_by_obs(self, argv, tmp_path):
+        plain, observed = tmp_path / "plain.jsonl", tmp_path / "obs.jsonl"
+        _run(argv + ["--out", str(plain)])
+        _run(argv + ["--out", str(observed), "--obs"])
+        assert plain.read_bytes() == observed.read_bytes()
+
+
+class TestPhasesCli:
+    def test_phases_on_campaign_trace(self, chaos_run, capsys):
+        _records, trace = chaos_run
+        assert main(["obs", "phases", trace]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path attribution" in out
+        assert "transfer" in out
+
+    def test_bad_quantile_exits_2(self, chaos_run):
+        _records, trace = chaos_run
+        assert main(["obs", "phases", trace, "--quantile", "1.5"]) == 2
+
+    def test_missing_trace_exits_2(self, tmp_path):
+        assert main(["obs", "phases", str(tmp_path / "absent.jsonl")]) == 2
+
+
+class TestDiffCli:
+    def test_identical_traces_exit_0(self, tmp_path, capsys):
+        a = _synthetic_trace(tmp_path / "a.jsonl")
+        b = _synthetic_trace(tmp_path / "b.jsonl")
+        assert main(["obs", "diff", a, b]) == 0
+        assert "zero drift" in capsys.readouterr().out
+
+    def test_drift_exits_1_and_names_category(self, tmp_path, capsys):
+        a = _synthetic_trace(tmp_path / "a.jsonl", rate=1.0)
+        b = _synthetic_trace(tmp_path / "b.jsonl", rate=2.0)
+        assert main(["obs", "diff", a, b]) == 1
+        out = capsys.readouterr().out
+        assert "drift in" in out and "transfer" in out
+
+    def test_tolerance_absorbs_drift(self, tmp_path):
+        a = _synthetic_trace(tmp_path / "a.jsonl", rate=1.0)
+        b = _synthetic_trace(tmp_path / "b.jsonl", rate=2.0)
+        assert (
+            main(["obs", "diff", a, b, "--duration-rel", "0.9", "--quantile-rel", "0.9"])
+            == 0
+        )
+
+    def test_negative_tolerance_exits_2(self, tmp_path):
+        a = _synthetic_trace(tmp_path / "a.jsonl")
+        assert main(["obs", "diff", a, a, "--duration-rel", "-0.1"]) == 2
+
+    def test_missing_side_exits_2(self, tmp_path):
+        a = _synthetic_trace(tmp_path / "a.jsonl")
+        assert main(["obs", "diff", a, str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_self_diff_of_campaign_trace_is_clean(self, chaos_run):
+        _records, trace = chaos_run
+        assert main(["obs", "diff", trace, trace]) == 0
+
+
+class TestSloCli:
+    def test_committed_spec_passes_on_quick_chaos(self, chaos_run, capsys):
+        records, trace = chaos_run
+        rc = main(
+            ["obs", "slo", "specs/chaos-quick.slo.toml",
+             "--records", records, "--trace", trace]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "all objectives met" in out
+
+    def test_violated_spec_exits_1(self, chaos_run, tmp_path, capsys):
+        records, _trace = chaos_run
+        spec = tmp_path / "strict.toml"
+        spec.write_text(
+            '[[objective]]\nname = "impossible"\nmetric = "availability"\nmin = 1.5\n'
+        )
+        assert main(["obs", "slo", str(spec), "--records", records]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_malformed_spec_exits_2(self, tmp_path, capsys):
+        spec = tmp_path / "bad.toml"
+        spec.write_text("not toml at all\n")
+        assert main(["obs", "slo", str(spec)]) == 2
+
+    def test_missing_spec_exits_2(self, tmp_path):
+        assert main(["obs", "slo", str(tmp_path / "absent.toml")]) == 2
+
+
+class TestReportCli:
+    def test_writes_default_out(self, chaos_run, tmp_path, capsys):
+        _records, trace = chaos_run
+        assert main(["obs", "report", trace]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert os.path.exists(trace + ".health.html")
+
+    def test_report_is_deterministic(self, chaos_run, tmp_path):
+        _records, trace = chaos_run
+        a, b = tmp_path / "a.html", tmp_path / "b.html"
+        assert main(["obs", "report", trace, "--out", str(a)]) == 0
+        assert main(["obs", "report", trace, "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_report_with_slo_section(self, chaos_run, tmp_path):
+        records, trace = chaos_run
+        out = tmp_path / "health.html"
+        rc = main(
+            ["obs", "report", trace, "--out", str(out),
+             "--slo", "specs/chaos-quick.slo.toml", "--records", records,
+             "--title", "chaos quick health"]
+        )
+        assert rc == 0
+        html = out.read_text()
+        assert "chaos quick health" in html
+        assert 'class="pass"' in html

@@ -1,0 +1,70 @@
+"""repro.obs.report tests: deterministic self-contained HTML rendering."""
+
+from repro.obs.core import Observer
+from repro.obs.export import ObsTrace
+from repro.obs.report import render_report
+from repro.obs.slo import evaluate_slo, parse_slo_spec
+
+
+def _trace(*, stripe=False):
+    obs = Observer()
+    obs.span("probe", "probe:R1", 0.0, 0.5, won=True)
+    obs.span("transfer", "remainder:R1", 0.5, 9.5, path="R1")
+    if stripe:
+        obs.span("stripe", "block:0", 10.0, 12.0, path="A")
+        obs.span("stripe", "block:1", 10.0, 14.0, path="B")
+        obs.span("session", "C2->S", 10.0, 14.0, outcome="completed", stripe_k=2)
+    obs.span("session", "C->S", 0.0, 10.0, outcome="completed")
+    obs.count("session.outcome.completed", 2.0 if stripe else 1.0)
+    obs.observe_value("session.duration", 10.0)
+    return ObsTrace.from_observer(obs)
+
+
+class TestRenderReport:
+    def test_self_contained_html(self):
+        html = render_report(_trace())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<style>" in html
+        # No external fetches: no scripts, stylesheets or images by URL.
+        assert "<script" not in html
+        assert "<link" not in html
+        assert "src=" not in html
+        assert "<svg" in html  # phase chart + sparklines are inlined
+
+    def test_deterministic(self):
+        assert render_report(_trace()) == render_report(_trace())
+
+    def test_headline_and_sections(self):
+        html = render_report(_trace(), title="my campaign")
+        assert "my campaign" in html
+        assert "completed" in html  # the session.outcome.* counter row
+        assert "session.duration" in html  # histogram table row
+
+    def test_stripe_sessions_grouped_separately(self):
+        html = render_report(_trace(stripe=True))
+        assert "stripe-k2" in html
+
+    def test_title_is_escaped(self):
+        html = render_report(_trace(), title="<b>&co")
+        assert "<b>&co" not in html
+        assert "&lt;b&gt;&amp;co" in html
+
+    def test_slo_section(self):
+        spec = parse_slo_spec(
+            "[[objective]]\n"
+            'name = "probe cheap"\nmetric = "probe_overhead_fraction"\nmax = 0.2\n'
+            "[[objective]]\n"
+            'name = "impossible"\nmetric = "probe_overhead_fraction"\nmax = 0.001\n'
+        )
+        slo = evaluate_slo(spec, trace=_trace())
+        html = render_report(_trace(), slo=slo)
+        assert 'class="pass"' in html and 'class="fail"' in html
+        assert "probe cheap" in html and "impossible" in html
+
+    def test_without_slo_no_slo_table(self):
+        assert 'class="fail"' not in render_report(_trace())
+
+    def test_empty_trace(self):
+        html = render_report(ObsTrace())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "sessions" in html

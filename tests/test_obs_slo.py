@@ -1,0 +1,331 @@
+"""repro.obs.slo tests: spec parsing and objective evaluation."""
+
+import math
+
+import pytest
+
+from repro.analysis.availability import availability_stats
+from repro.analysis.chaos import chaos_cells
+from repro.obs.core import Observer
+from repro.obs.export import ObsTrace
+from repro.obs.slo import (
+    SloObjective,
+    evaluate_slo,
+    load_slo_spec,
+    parse_slo_spec,
+    render_slo,
+)
+from repro.trace.records import ChaosRecord, FailureRecord
+
+SPEC_TEXT = """\
+# availability objectives
+name = "toy"
+description = "test spec"
+
+[[objective]]
+name = "failover availability"   # trailing comment
+metric = "availability"
+mechanism = "failover"
+fault_family = "gray"
+intensity = "severe"
+min = 0.5
+
+[[objective]]
+name = "stall share"
+metric = "phase_fraction:stall"
+max = 0.25
+"""
+
+
+def _chaos(**overrides):
+    base = dict(
+        study="chaos",
+        client="Italy",
+        site="eBay",
+        repetition=0,
+        start_time=0.0,
+        set_size=2,
+        offered=("R1", "R2"),
+        selected_via="R1",
+        direct_throughput=100_000.0,
+        selected_throughput=200_000.0,
+        end_to_end_throughput=150_000.0,
+        probe_overhead=1.0,
+        file_bytes=4_000_000.0,
+        mechanism="failover",
+        fault_family="gray",
+        intensity="severe",
+        stripe_k=3,
+        bytes_received=4_000_000.0,
+        direct_duration=40.0,
+        selected_duration=26.7,
+    )
+    base.update(overrides)
+    return ChaosRecord(**base)
+
+
+def _failure(**overrides):
+    base = dict(
+        study="failures",
+        client="Italy",
+        site="eBay",
+        repetition=0,
+        start_time=0.0,
+        set_size=2,
+        offered=("R1", "R2"),
+        selected_via="R1",
+        direct_throughput=1e5,
+        selected_throughput=2e5,
+        end_to_end_throughput=1.8e5,
+        probe_overhead=1.0,
+        file_bytes=4e6,
+        failure_mode="node",
+        outcome="completed",
+        bytes_received=4e6,
+        direct_duration=40.0,
+        selected_duration=20.0,
+    )
+    base.update(overrides)
+    return FailureRecord(**base)
+
+
+def _session_trace():
+    obs = Observer()
+    obs.span("probe", "probe:R1", 0.0, 0.5, won=True)
+    obs.span("transfer", "remainder:R1", 0.5, 9.5, path="R1")
+    obs.span("session", "C->S", 0.0, 10.0, outcome="completed")
+    obs.count("session.outcome.completed")
+    obs.gauge("engine.flows.peak", 3.0)
+    obs.observe_value("session.duration", 10.0)
+    return ObsTrace.from_observer(obs)
+
+
+class TestParser:
+    def test_parses_header_and_objectives(self):
+        spec = parse_slo_spec(SPEC_TEXT)
+        assert spec.name == "toy"
+        assert spec.description == "test spec"
+        assert len(spec.objectives) == 2
+        first = spec.objectives[0]
+        assert first.metric == "availability"
+        assert first.filters == {
+            "mechanism": "failover",
+            "fault_family": "gray",
+            "intensity": "severe",
+        }
+        assert first.min_value == 0.5 and first.max_value is None
+        assert spec.objectives[1].metric == "phase_fraction:stall"
+
+    def test_hash_inside_string_is_not_a_comment(self):
+        spec = parse_slo_spec(
+            'name = "a # b"\n[[objective]]\nname = "x"\nmetric = "availability"\nmin = 0.1\n'
+        )
+        assert spec.name == "a # b"
+
+    def test_error_names_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_slo_spec('name = "ok"\nnot a toml line\n')
+
+    def test_no_objectives_rejected(self):
+        with pytest.raises(ValueError, match="declares no"):
+            parse_slo_spec('name = "empty"\n')
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            parse_slo_spec(
+                '[[objective]]\nname = "x"\nmetric = "bogus"\nmin = 0.0\n'
+            )
+
+    def test_objective_without_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            SloObjective(name="x", metric="availability")
+
+    def test_load_committed_ci_spec(self):
+        spec = load_slo_spec("specs/chaos-quick.slo.toml")
+        assert spec.name == "chaos-quick"
+        assert len(spec.objectives) >= 6
+
+
+class TestChaosMetrics:
+    """The SLO evaluator must reproduce the chaos study's own numbers."""
+
+    def _records(self):
+        return [
+            _chaos(outcome="failed_over", n_failovers=1, time_to_recover=4.0),
+            _chaos(
+                repetition=1,
+                outcome="aborted",
+                bytes_received=1_000_000.0,
+                time_to_recover=8.0,
+            ),
+            _chaos(repetition=2, fault_family="none", intensity="none"),
+        ]
+
+    def _eval_one(self, metric, records, **bounds):
+        spec = parse_slo_spec(
+            "[[objective]]\n"
+            'name = "x"\n'
+            f'metric = "{metric}"\n'
+            'mechanism = "failover"\n'
+            'fault_family = "gray"\n'
+            'intensity = "severe"\n'
+            + "".join(f"{k} = {v}\n" for k, v in bounds.items())
+        )
+        return evaluate_slo(spec, records=records).results[0]
+
+    def test_availability_matches_chaos_cells(self):
+        records = self._records()
+        cell = chaos_cells(records)[("gray", "severe", "failover")]
+        res = self._eval_one("availability", records, min=0.0)
+        assert res.measured == cell.availability == 0.5
+
+    def test_mttr_matches_chaos_cells(self):
+        records = self._records()
+        cell = chaos_cells(records)[("gray", "severe", "failover")]
+        res = self._eval_one("mttr_mean", records, max=100)
+        assert res.measured == cell.mean_ttr == 6.0
+
+    def test_p99_duration_matches_chaos_cells(self):
+        records = self._records()
+        cell = chaos_cells(records)[("gray", "severe", "failover")]
+        res = self._eval_one("p99_duration", records, max=1000)
+        assert res.measured == cell.p99_duration
+
+    def test_goodput_retained_uses_none_baseline(self):
+        records = self._records()
+        cell = chaos_cells(records)[("gray", "severe", "failover")]
+        res = self._eval_one("goodput_retained", records, min=0.0)
+        assert res.measured == cell.goodput_retained
+
+    def test_bound_violation_fails(self):
+        res = self._eval_one("availability", self._records(), min=0.9)
+        assert not res.passed
+
+    def test_byte_unavailability(self):
+        records = self._records()
+        spec = parse_slo_spec(
+            '[[objective]]\nname = "x"\nmetric = "byte_unavailability"\nmax = 1.0\n'
+        )
+        res = evaluate_slo(spec, records=records).results[0]
+        # One of three 4 MB requests delivered only 1 MB.
+        assert res.measured == pytest.approx(3.0 / 12.0)
+        assert res.passed
+
+    def test_duplicate_waste_without_stripe_rows_is_nan_and_fails(self):
+        spec = parse_slo_spec(
+            '[[objective]]\nname = "x"\nmetric = "duplicate_waste_fraction"\nmax = 1.0\n'
+        )
+        res = evaluate_slo(spec, records=self._records()).results[0]
+        assert math.isnan(res.measured)
+        assert not res.passed
+
+
+class TestFailureMetrics:
+    def test_availability_matches_availability_stats(self):
+        records = [
+            _failure(),
+            _failure(repetition=1, outcome="failed_over", n_failovers=1),
+            _failure(repetition=2, outcome="aborted", bytes_received=0.0),
+        ]
+        spec = parse_slo_spec(
+            '[[objective]]\nname = "x"\nmetric = "availability"\nmin = 0.0\n'
+        )
+        res = evaluate_slo(spec, records=records).results[0]
+        assert res.measured == availability_stats(records).availability
+        assert res.measured == pytest.approx(2.0 / 3.0)
+
+    def test_failure_mode_filter(self):
+        records = [
+            _failure(failure_mode="node", outcome="aborted", bytes_received=0.0),
+            _failure(repetition=1, failure_mode="link"),
+        ]
+        spec = parse_slo_spec(
+            "[[objective]]\n"
+            'name = "x"\n'
+            'metric = "availability"\n'
+            'failure_mode = "link"\n'
+            "min = 0.9\n"
+        )
+        res = evaluate_slo(spec, records=records).results[0]
+        assert res.measured == 1.0
+        assert res.passed
+
+
+class TestTraceMetrics:
+    def _eval(self, metric, trace, **bounds):
+        spec = parse_slo_spec(
+            "[[objective]]\n"
+            'name = "x"\n'
+            f'metric = "{metric}"\n'
+            + "".join(f"{k} = {v}\n" for k, v in bounds.items())
+        )
+        return evaluate_slo(spec, trace=trace).results[0]
+
+    def test_probe_overhead_fraction(self):
+        res = self._eval("probe_overhead_fraction", _session_trace(), max=0.1)
+        assert res.measured == pytest.approx(0.05)  # 0.5 s probe / 10 s session
+        assert res.passed
+
+    def test_phase_fraction(self):
+        res = self._eval("phase_fraction:transfer", _session_trace(), min=0.5)
+        assert res.measured == pytest.approx(0.9)
+
+    def test_counter_gauge_hist(self):
+        trace = _session_trace()
+        assert self._eval(
+            "counter:session.outcome.completed", trace, min=1
+        ).measured == 1.0
+        assert self._eval("gauge:engine.flows.peak", trace, max=4).measured == 3.0
+        assert self._eval("hist_count:session.duration", trace, min=1).measured == 1.0
+
+    def test_span_total_and_count(self):
+        trace = _session_trace()
+        assert self._eval("span_total:transfer", trace, max=100).measured == 9.0
+        assert self._eval("span_count:session", trace, min=1).measured == 1.0
+
+    def test_missing_counter_is_nan_and_fails(self):
+        res = self._eval("counter:no.such", _session_trace(), max=1)
+        assert math.isnan(res.measured)
+        assert not res.passed
+
+
+class TestMissingInputs:
+    def test_trace_objective_without_trace_fails(self):
+        spec = parse_slo_spec(
+            '[[objective]]\nname = "x"\nmetric = "probe_overhead_fraction"\nmax = 1.0\n'
+        )
+        report = evaluate_slo(spec)
+        assert not report.clean
+        assert not report.results[0].passed
+
+    def test_record_objective_without_records_fails(self):
+        spec = parse_slo_spec(
+            '[[objective]]\nname = "x"\nmetric = "availability"\nmin = 0.0\n'
+        )
+        report = evaluate_slo(spec)
+        assert not report.clean
+
+
+class TestRender:
+    def test_render_lists_pass_fail_and_verdict(self):
+        records = [
+            _chaos(outcome="failed_over", n_failovers=1, time_to_recover=4.0)
+        ]
+        spec = parse_slo_spec(
+            "[[objective]]\n"
+            'name = "good"\nmetric = "availability"\nmin = 0.5\n'
+            "[[objective]]\n"
+            'name = "bad"\nmetric = "availability"\nmin = 1.5\n'
+        )
+        report = evaluate_slo(spec, records=records)
+        text = render_slo(report)
+        assert "PASS" in text and "FAIL" in text
+        assert "1 of 2 objectives violated" in text
+
+    def test_clean_verdict(self):
+        spec = parse_slo_spec(
+            '[[objective]]\nname = "g"\nmetric = "availability"\nmin = 0.0\n'
+        )
+        report = evaluate_slo(spec, records=[_chaos()])
+        assert report.clean
+        assert "all objectives met" in render_slo(report)

@@ -230,3 +230,57 @@ class TestPerfCli:
              "--baseline", out, "--tolerance", "5.0"]
         )
         assert code == 0
+
+
+class TestSuspectCategory:
+    """``repro perf --obs`` span summaries name the regressing subsystem."""
+
+    def _report(self, optimised, spans=None):
+        bench = {"unit": "ns/op", "optimised": optimised}
+        if spans is not None:
+            bench["obs_summary"] = {
+                "spans": {
+                    cat: {"count": 1, "total_time": total}
+                    for cat, total in spans.items()
+                }
+            }
+        return BenchReport(benches={"alloc_disjoint": bench}, quick=True)
+
+    def test_names_worst_growing_category(self):
+        current = self._report(200.0, spans={"transfer": 30.0, "tick": 1.0})
+        stored = self._report(100.0, spans={"transfer": 10.0, "tick": 1.0})
+        (cmp_,) = compare_reports(current, stored, tolerance=0.25)
+        assert cmp_.regressed
+        assert cmp_.suspect_category == "transfer"
+        assert cmp_.suspect_growth == pytest.approx(2.0)
+        text = format_comparison([cmp_], tolerance=0.25)
+        assert "suspect: 'transfer' span time grew +200%" in text
+
+    def test_new_category_surfaces_against_floor(self):
+        current = self._report(200.0, spans={"tick": 1.0, "stripe": 5.0})
+        stored = self._report(100.0, spans={"tick": 1.0})
+        (cmp_,) = compare_reports(current, stored, tolerance=0.25)
+        assert cmp_.suspect_category == "stripe"
+
+    def test_no_obs_summary_no_suspect(self):
+        (cmp_,) = compare_reports(
+            self._report(200.0), self._report(100.0), tolerance=0.25
+        )
+        assert cmp_.regressed
+        assert cmp_.suspect_category is None
+        text = format_comparison([cmp_], tolerance=0.25)
+        assert "run both sides with --obs" in text
+
+    def test_not_regressed_no_suspect(self):
+        current = self._report(100.0, spans={"transfer": 30.0})
+        stored = self._report(100.0, spans={"transfer": 10.0})
+        (cmp_,) = compare_reports(current, stored, tolerance=0.25)
+        assert not cmp_.regressed
+        assert cmp_.suspect_category is None
+
+    def test_all_categories_shrank_no_suspect(self):
+        current = self._report(200.0, spans={"transfer": 5.0, "tick": 0.5})
+        stored = self._report(100.0, spans={"transfer": 10.0, "tick": 1.0})
+        (cmp_,) = compare_reports(current, stored, tolerance=0.25)
+        assert cmp_.regressed
+        assert cmp_.suspect_category is None

@@ -4,7 +4,13 @@ import xml.etree.ElementTree as ET
 
 import pytest
 
-from repro.util.svg import svg_grouped_bars, svg_histogram, svg_line_chart
+from repro.util.svg import (
+    svg_grouped_bars,
+    svg_histogram,
+    svg_line_chart,
+    svg_sparkline,
+    svg_stacked_bars,
+)
 
 SVG_NS = "{http://www.w3.org/2000/svg}"
 
@@ -130,3 +136,77 @@ class TestGroupedBars:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             svg_grouped_bars([], {}, title="t")
+
+
+class TestStackedBars:
+    def _svg(self):
+        return svg_stacked_bars(
+            ["completed", "failed_over"],
+            {"probe": [1.0, 2.0], "transfer": [10.0, 5.0], "other": [0.0, 0.0]},
+            title="phase totals",
+            ylabel="seconds",
+        )
+
+    def test_valid_xml_with_title_and_labels(self):
+        root = parse(self._svg())
+        texts = [t.text for t in elements(root, "text")]
+        assert "phase totals" in texts
+        assert "completed" in texts and "failed_over" in texts
+
+    def test_one_rect_per_positive_segment(self):
+        # 2 categories x 2 positive layers; the all-zero layer draws nothing
+        # (legend swatches are also rects, hence >=).
+        root = parse(self._svg())
+        rects = elements(root, "rect")
+        assert len(rects) >= 4
+
+    def test_segments_stack_without_overlap(self):
+        root = parse(self._svg())
+        rects = [
+            (float(r.get("x")), float(r.get("y")), float(r.get("height")))
+            for r in elements(root, "rect")
+            if r.get("x") is not None and r.get("fill-opacity") is not None
+        ]
+        by_x = {}
+        for x, y, h in rects:
+            by_x.setdefault(x, []).append((y, h))
+        stacked = [col for col in by_x.values() if len(col) > 1]
+        assert stacked  # at least one bar has two layers
+        for col in stacked:
+            col.sort()
+            for (y1, h1), (y2, _h2) in zip(col, col[1:]):
+                assert y1 + h1 <= y2 + 0.11  # lower layer starts where upper ends
+
+    def test_deterministic(self):
+        assert self._svg() == self._svg()
+
+    def test_rejects_mismatched_layer_length(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            svg_stacked_bars(
+                ["a", "b"], {"probe": [1.0]}, title="t"
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            svg_stacked_bars([], {}, title="t")
+
+
+class TestSparkline:
+    def test_renders_polyline_over_values(self):
+        svg = svg_sparkline([0.0, 3.0, 1.0, 4.0])
+        root = parse(svg)
+        assert elements(root, "polyline")
+        assert elements(root, "polygon")  # the filled area under the line
+
+    def test_empty_and_flat_series_render(self):
+        for values in ([], [0.0, 0.0, 0.0]):
+            root = parse(svg_sparkline(values))
+            assert elements(root, "polyline")
+
+    def test_respects_size(self):
+        root = parse(svg_sparkline([1.0, 2.0], width=99, height=21))
+        assert root.get("width") == "99"
+        assert root.get("height") == "21"
+
+    def test_deterministic(self):
+        assert svg_sparkline([1.0, 2.0, 3.0]) == svg_sparkline([1.0, 2.0, 3.0])
